@@ -1,0 +1,41 @@
+"""Figure 9: compilation time, split into DSL-stack generation and target
+compilation.
+
+The paper splits compilation into DBLAB/LB program optimization + C code
+generation on one side and CLang compilation on the other, observing a roughly
+even split and sub-second totals.  The Python reproduction splits the same
+way: stack optimization/lowering/unparsing time versus ``compile()`` of the
+generated source.
+"""
+import pytest
+
+from conftest import BENCH_QUERIES
+from repro.codegen.compiler import QueryCompiler
+from repro.stack.configs import build_config
+from repro.tpch.queries import build_query
+
+
+@pytest.mark.parametrize("query_name", BENCH_QUERIES)
+def test_figure9_compilation_cell(benchmark, harness, query_name):
+    """Benchmark full compilation (stack + Python compile) of one query."""
+    config = build_config("dblab-5")
+    plan = build_query(query_name)
+
+    def compile_query():
+        compiler = QueryCompiler(config.stack, config.flags)
+        return compiler.compile(plan, harness.catalog, query_name)
+
+    compiled = benchmark.pedantic(compile_query, rounds=2, iterations=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["generation_seconds"] = round(compiled.generation_seconds, 4)
+    benchmark.extra_info["target_compile_seconds"] = round(compiled.python_compile_seconds, 4)
+    benchmark.extra_info["generated_lines"] = compiled.source_lines
+    assert compiled.compile_seconds > 0
+
+
+def test_figure9_totals_stay_interactive(harness):
+    """The paper's point: compilation stays around a second per query."""
+    split = harness.figure9_compilation(queries=BENCH_QUERIES[:4])
+    for query_name, data in split.items():
+        assert data["total"] < 5.0, f"{query_name} took too long to compile"
+        assert data["generation"] > 0 and data["target_compile"] > 0

@@ -1,0 +1,64 @@
+"""Table 3: TPC-H execution time per engine configuration.
+
+Each benchmark entry is one (query, engine) cell of the paper's Table 3.  The
+engines are the Volcano interpreter, the single-step template expander
+(standing in for the pre-DBLAB compiler generation / LegoBase reference
+column) and the DBLAB/LB stack with 2, 3, 4 and 5 levels plus the TPC-H
+compliant configuration.
+
+Run with ``pytest benchmarks/bench_table3_tpch.py --benchmark-only``; set
+``REPRO_BENCH_FULL=1`` for all 22 queries.  ``examples/reproduce_table3.py``
+prints the complete table in the paper's layout.
+"""
+import pytest
+
+from conftest import BENCH_QUERIES
+
+ENGINES = ("interpreter", "template-expander", "dblab-2", "dblab-3", "dblab-4",
+           "dblab-5", "tpch-compliant")
+
+
+@pytest.mark.parametrize("engine", ENGINES)
+@pytest.mark.parametrize("query_name", BENCH_QUERIES)
+def test_table3_cell(benchmark, harness, query_name, engine):
+    """Time one Table 3 cell: query execution only (compilation not included)."""
+    from repro.tpch.queries import build_query
+    plan = build_query(query_name)
+
+    if engine == "interpreter":
+        from repro.engine.volcano import VolcanoEngine
+        runner = VolcanoEngine(harness.catalog)
+        run = lambda: runner.execute(plan)
+    elif engine == "template-expander":
+        from repro.engine.template_expander import TemplateExpander
+        expanded = TemplateExpander(harness.catalog).compile(plan, query_name)
+        run = lambda: expanded.run(harness.catalog)
+    else:
+        compiled = harness._compiled(query_name, engine, plan)
+        aux = compiled.prepare(harness.catalog)
+        run = lambda: compiled.run(harness.catalog, aux)
+
+    rows = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
+    benchmark.extra_info["query"] = query_name
+    benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["rows"] = len(rows)
+    assert isinstance(rows, list)
+
+
+def test_table3_shape_claims(harness):
+    """The relative claims of Section 7.1, asserted on a coarse subset.
+
+    * every compiled configuration beats the iterator-model interpreter, and
+    * the four-or-five-level stack is at least as fast (within noise) as the
+      naive two-level stack on every query, and substantially faster overall.
+    """
+    results = harness.table3(queries=BENCH_QUERIES[:4],
+                             engines=["interpreter", "dblab-2", "dblab-5"])
+    for query_name, per_engine in results.items():
+        interp = per_engine["interpreter"].run_seconds
+        two = per_engine["dblab-2"].run_seconds
+        five = per_engine["dblab-5"].run_seconds
+        assert five < interp, f"{query_name}: compiled slower than interpreted"
+        assert five < two * 1.25, f"{query_name}: five levels much slower than two"
+    speedups = harness.speedups(results, "dblab-2", "dblab-5")
+    assert harness.geometric_mean(speedups.values()) > 1.5

@@ -1,0 +1,36 @@
+"""Shared fixtures for the benchmark suite.
+
+Environment knobs:
+
+* ``REPRO_BENCH_SF``   — TPC-H scale factor (default 0.002; the paper uses 8,
+  which is far beyond what a pure-Python test run should chew through).
+* ``REPRO_BENCH_FULL`` — set to ``1`` to benchmark all 22 queries instead of
+  the representative subset.
+"""
+import os
+
+import pytest
+
+from repro.bench.harness import BenchmarkHarness
+from repro.tpch.dbgen import generate_catalog
+from repro.tpch.queries import QUERY_NAMES
+
+SCALE_FACTOR = float(os.environ.get("REPRO_BENCH_SF", "0.002"))
+FULL = os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+#: queries used when the full sweep is not requested: they cover scans (Q1,
+#: Q6), join pipelines (Q3, Q5, Q14), semi/anti/outer joins (Q4, Q13) and
+#: large aggregations (Q18).
+REPRESENTATIVE_QUERIES = ["Q1", "Q3", "Q4", "Q5", "Q6", "Q13", "Q14", "Q18"]
+
+BENCH_QUERIES = QUERY_NAMES if FULL else REPRESENTATIVE_QUERIES
+
+
+@pytest.fixture(scope="session")
+def catalog():
+    return generate_catalog(scale_factor=SCALE_FACTOR, seed=20160626)
+
+
+@pytest.fixture(scope="session")
+def harness(catalog):
+    return BenchmarkHarness(catalog, repetitions=1)

@@ -1,0 +1,96 @@
+"""Reproduce the paper's evaluation (Table 3, Table 4, Figures 8 and 9).
+
+Generates a deterministic TPC-H-shaped database, runs every query under every
+engine configuration and prints the paper's tables/figures as text.
+
+Usage:
+    python examples/reproduce_evaluation.py                  # quick subset
+    python examples/reproduce_evaluation.py --full           # all 22 queries
+    python examples/reproduce_evaluation.py --sf 0.01        # larger data
+    python examples/reproduce_evaluation.py --skip-interpreter
+"""
+import argparse
+
+from repro.bench.harness import BenchmarkHarness, ENGINE_NAMES
+from repro.bench.loc import format_table4, loc_by_package
+from repro.tpch.dbgen import generate_catalog
+from repro.tpch.queries import QUERY_NAMES
+
+QUICK_QUERIES = ["Q1", "Q3", "Q4", "Q5", "Q6", "Q10", "Q12", "Q13", "Q14", "Q18"]
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--sf", type=float, default=0.002, help="TPC-H scale factor")
+    parser.add_argument("--seed", type=int, default=20160626)
+    parser.add_argument("--full", action="store_true", help="run all 22 queries")
+    parser.add_argument("--repetitions", type=int, default=2)
+    parser.add_argument("--skip-interpreter", action="store_true",
+                        help="skip the (slow) Volcano interpreter column")
+    args = parser.parse_args()
+
+    print(f"Generating TPC-H data at scale factor {args.sf} ...")
+    catalog = generate_catalog(scale_factor=args.sf, seed=args.seed)
+    for table in catalog.table_names():
+        print(f"  {table:10s} {catalog.size(table):>8} rows")
+    print()
+
+    engines = [name for name in ENGINE_NAMES
+               if not (args.skip_interpreter and name == "interpreter")]
+    harness = BenchmarkHarness(catalog, repetitions=args.repetitions, engines=engines)
+    queries = QUERY_NAMES if args.full else QUICK_QUERIES
+
+    # ------------------------------------------------------------------
+    print("=" * 70)
+    print("Table 3 — query execution time in milliseconds")
+    print("=" * 70)
+    results = harness.table3(queries=queries, engines=engines)
+    print(harness.format_table3(results, engines))
+    print()
+    if "interpreter" in engines:
+        speedups = harness.speedups(results, "interpreter", "dblab-5")
+        print(f"dblab-5 vs interpreter: geometric-mean speedup "
+              f"{harness.geometric_mean(speedups.values()):.1f}x")
+    speedups = harness.speedups(results, "dblab-2", "dblab-5")
+    print(f"dblab-5 vs dblab-2 (two-level stack): geometric-mean speedup "
+          f"{harness.geometric_mean(speedups.values()):.1f}x")
+    speedups = harness.speedups(results, "dblab-3", "dblab-4")
+    print(f"dblab-4 vs dblab-3 (adding the data-structure-aware level): "
+          f"geometric-mean speedup {harness.geometric_mean(speedups.values()):.2f}x")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=" * 70)
+    print("Figure 8 — peak memory of the generated code (MB, dblab-5)")
+    print("=" * 70)
+    memory = harness.figure8_memory(queries=queries)
+    for name in queries:
+        print(f"  {name:4s} {memory[name].peak_memory_bytes / 1e6:8.2f} MB")
+    print(f"  (loaded database: {catalog.memory_footprint() / 1e6:.2f} MB)")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=" * 70)
+    print("Figure 9 — compilation time split (seconds, dblab-5)")
+    print("=" * 70)
+    split = harness.figure9_compilation(queries=queries)
+    print(f"  {'query':6s}{'stack generation':>18s}{'python compile':>16s}{'lines':>8s}")
+    for name in queries:
+        data = split[name]
+        print(f"  {name:6s}{data['generation']:>18.3f}{data['target_compile']:>16.4f}"
+              f"{data['source_lines']:>8d}")
+    print()
+
+    # ------------------------------------------------------------------
+    print("=" * 70)
+    print("Table 4 — lines of code per transformation")
+    print("=" * 70)
+    print(format_table4())
+    print()
+    print("Lines of code per package:")
+    for package, lines in loc_by_package().items():
+        print(f"  {package:12s} {lines:>6d}")
+
+
+if __name__ == "__main__":
+    main()

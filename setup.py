@@ -1,0 +1,20 @@
+"""Setuptools entry point.
+
+The pyproject.toml [project] table carries the metadata; this file exists so
+that ``pip install -e .`` works on environments without the ``wheel`` package
+(legacy editable install path).
+"""
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DBLAB/LB-style multi-level DSL-stack query compiler "
+        "(reproduction of 'How to Architect a Query Compiler', SIGMOD 2016)"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.10",
+    install_requires=["numpy"],
+)

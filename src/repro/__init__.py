@@ -1,0 +1,9 @@
+"""repro — a multi-level DSL-stack query compiler.
+
+This package reproduces the architecture described in "How to Architect a
+Query Compiler" (Shaikhha et al., SIGMOD 2016): a query compiler organised as
+a stack of DSLs at decreasing abstraction levels, with optimizations applied
+inside each level and lowerings translating programs one level down, all the
+way to executable low-level code.
+"""
+__version__ = "1.0.0"

@@ -1,0 +1,4 @@
+"""The benchmark harness and lines-of-code accounting behind the paper's evaluation."""
+from .harness import BenchmarkHarness
+
+__all__ = ["BenchmarkHarness"]

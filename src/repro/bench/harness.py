@@ -1,0 +1,218 @@
+"""Benchmark harness regenerating the paper's evaluation (Section 7).
+
+The harness runs TPC-H queries under every engine configuration and collects
+the measurements behind the paper's tables and figures:
+
+* **Table 3** — query execution time per configuration (interpreter,
+  single-step template expander, DBLAB/LB with 2..5 levels, TPC-H compliant),
+* **Figure 8** — peak memory consumption of the generated code,
+* **Figure 9** — compilation time split into DSL-stack code generation and
+  Python compilation (the CLang stand-in).
+
+Absolute numbers are not comparable to the paper's C implementation on a Xeon
+server; the claims being reproduced are the *relative* ones (who wins, the
+size of the jump when the data-structure-aware level is added, and that extra
+levels never hurt).
+"""
+from __future__ import annotations
+
+import time
+import tracemalloc
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+
+from ..codegen.compiler import CompiledQuery, QueryCompiler
+from ..engine.template_expander import TemplateExpander
+from ..engine.volcano import VolcanoEngine
+from ..stack.configs import CONFIG_NAMES, StackConfig, build_config
+from ..storage.catalog import Catalog
+from ..tpch.queries import QUERY_NAMES, build_query
+
+#: every engine the harness knows how to run, in reporting order
+ENGINE_NAMES = ("interpreter", "template-expander") + CONFIG_NAMES
+
+
+@dataclass
+class Measurement:
+    """One engine's measurements for one query."""
+
+    query: str
+    engine: str
+    run_seconds: float
+    rows: int
+    generation_seconds: float = 0.0
+    compile_seconds: float = 0.0
+    prepare_seconds: float = 0.0
+    peak_memory_bytes: int = 0
+
+    @property
+    def run_millis(self) -> float:
+        return self.run_seconds * 1000.0
+
+
+class BenchmarkHarness:
+    """Runs queries under the different engines and collects measurements."""
+
+    def __init__(self, catalog: Catalog, repetitions: int = 3,
+                 engines: Sequence[str] = ENGINE_NAMES) -> None:
+        self.catalog = catalog
+        self.repetitions = max(1, repetitions)
+        self.engines = tuple(engines)
+        self._configs: Dict[str, StackConfig] = {
+            name: build_config(name) for name in self.engines if name in CONFIG_NAMES}
+        self._compiled_cache: Dict[tuple, CompiledQuery] = {}
+
+    # ------------------------------------------------------------------
+    # Single measurements
+    # ------------------------------------------------------------------
+    def measure(self, query_name: str, engine: str, plan=None,
+                measure_memory: bool = False) -> Measurement:
+        """Run one query under one engine and return its measurement."""
+        plan = plan if plan is not None else build_query(query_name)
+        if engine == "interpreter":
+            return self._measure_callable(
+                query_name, engine, lambda: VolcanoEngine(self.catalog).execute(plan),
+                measure_memory=measure_memory)
+        if engine == "template-expander":
+            expanded = TemplateExpander(self.catalog).compile(plan, query_name)
+            measurement = self._measure_callable(
+                query_name, engine, lambda: expanded.run(self.catalog),
+                measure_memory=measure_memory)
+            measurement.generation_seconds = expanded.generation_seconds
+            measurement.compile_seconds = expanded.compile_seconds
+            return measurement
+        if engine in self._configs:
+            compiled = self._compiled(query_name, engine, plan)
+            start = time.perf_counter()
+            aux = compiled.prepare(self.catalog)
+            prepare_seconds = time.perf_counter() - start
+            measurement = self._measure_callable(
+                query_name, engine, lambda: compiled.run(self.catalog, aux),
+                measure_memory=measure_memory)
+            measurement.generation_seconds = compiled.generation_seconds
+            measurement.compile_seconds = compiled.compile_seconds
+            measurement.prepare_seconds = prepare_seconds
+            return measurement
+        raise KeyError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
+
+    def _compiled(self, query_name: str, engine: str, plan) -> CompiledQuery:
+        key = (query_name, engine)
+        if key not in self._compiled_cache:
+            config = self._configs[engine]
+            compiler = QueryCompiler(config.stack, config.flags)
+            self._compiled_cache[key] = compiler.compile(plan, self.catalog, query_name)
+        return self._compiled_cache[key]
+
+    def _measure_callable(self, query_name: str, engine: str, fn: Callable[[], list],
+                          measure_memory: bool) -> Measurement:
+        import gc
+        rows: list = []
+        best = float("inf")
+        peak = 0
+        for _ in range(self.repetitions):
+            if measure_memory:
+                tracemalloc.start()
+            gc.collect()
+            gc_was_enabled = gc.isenabled()
+            gc.disable()
+            try:
+                start = time.perf_counter()
+                rows = fn()
+                elapsed = time.perf_counter() - start
+            finally:
+                if gc_was_enabled:
+                    gc.enable()
+            if measure_memory:
+                _, run_peak = tracemalloc.get_traced_memory()
+                tracemalloc.stop()
+                peak = max(peak, run_peak)
+            best = min(best, elapsed)
+        return Measurement(query=query_name, engine=engine, run_seconds=best,
+                           rows=len(rows), peak_memory_bytes=peak)
+
+    # ------------------------------------------------------------------
+    # Experiment drivers
+    # ------------------------------------------------------------------
+    def table3(self, queries: Optional[Sequence[str]] = None,
+               engines: Optional[Sequence[str]] = None) -> Dict[str, Dict[str, Measurement]]:
+        """Per-query, per-engine execution times (the data behind Table 3)."""
+        queries = list(queries) if queries is not None else list(QUERY_NAMES)
+        engines = list(engines) if engines is not None else list(self.engines)
+        results: Dict[str, Dict[str, Measurement]] = {}
+        for query_name in queries:
+            plan = build_query(query_name)
+            results[query_name] = {}
+            for engine in engines:
+                results[query_name][engine] = self.measure(query_name, engine, plan)
+        return results
+
+    def figure8_memory(self, queries: Optional[Sequence[str]] = None,
+                       engine: str = "dblab-5") -> Dict[str, Measurement]:
+        """Peak memory of the generated code per query (Figure 8)."""
+        queries = list(queries) if queries is not None else list(QUERY_NAMES)
+        return {name: self.measure(name, engine, measure_memory=True) for name in queries}
+
+    def figure9_compilation(self, queries: Optional[Sequence[str]] = None,
+                            engine: str = "dblab-5") -> Dict[str, Dict[str, float]]:
+        """Compilation time split per query (Figure 9).
+
+        ``generation`` is the DSL-stack side (optimizations, lowerings,
+        unparsing); ``target_compile`` is Python bytecode compilation, the
+        stand-in for the CLang half of the paper's figure.
+        """
+        queries = list(queries) if queries is not None else list(QUERY_NAMES)
+        results: Dict[str, Dict[str, float]] = {}
+        for query_name in queries:
+            compiled = self._compiled(query_name, engine, build_query(query_name))
+            results[query_name] = {
+                "generation": compiled.generation_seconds,
+                "target_compile": compiled.python_compile_seconds,
+                "total": compiled.compile_seconds,
+                "source_lines": compiled.source_lines,
+            }
+        return results
+
+    # ------------------------------------------------------------------
+    # Reporting helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def format_table3(results: Dict[str, Dict[str, Measurement]],
+                      engines: Optional[Sequence[str]] = None) -> str:
+        """Render Table 3 as fixed-width text (times in milliseconds)."""
+        if not results:
+            return "(no results)"
+        engines = list(engines) if engines is not None else \
+            list(next(iter(results.values())).keys())
+        header = ["Query"] + list(engines)
+        widths = [max(6, len(h) + 2) for h in header]
+        lines = ["".join(h.ljust(w) for h, w in zip(header, widths))]
+        for query_name, per_engine in results.items():
+            cells = [query_name]
+            for engine in engines:
+                measurement = per_engine.get(engine)
+                cells.append("-" if measurement is None else f"{measurement.run_millis:.1f}")
+            lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def speedups(results: Dict[str, Dict[str, Measurement]], baseline: str,
+                 target: str) -> Dict[str, float]:
+        """Per-query speed-up of ``target`` over ``baseline``."""
+        speedups = {}
+        for query_name, per_engine in results.items():
+            base = per_engine.get(baseline)
+            other = per_engine.get(target)
+            if base is None or other is None or other.run_seconds == 0:
+                continue
+            speedups[query_name] = base.run_seconds / other.run_seconds
+        return speedups
+
+    @staticmethod
+    def geometric_mean(values: Iterable[float]) -> float:
+        values = [v for v in values if v > 0]
+        if not values:
+            return 0.0
+        product = 1.0
+        for value in values:
+            product *= value
+        return product ** (1.0 / len(values))

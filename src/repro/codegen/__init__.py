@@ -1,0 +1,4 @@
+"""Code generation: the C.Py level's unparser, the compiler facade and the runtime."""
+from .compiler import CompiledQuery, QueryCompiler
+
+__all__ = ["CompiledQuery", "QueryCompiler"]

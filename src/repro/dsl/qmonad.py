@@ -1,0 +1,146 @@
+"""QMonad: the collection-programming front end (Section 4.5 of the paper).
+
+QMonad expresses queries as chained collection operators (``filter``, ``map``,
+``hashJoin``, ``groupBy``, ``fold``-style aggregates) instead of algebraic
+plan operators.  Like QPlan it is a *tree* DSL at the top of the stack; its
+programs are lowered by shortcut fusion (Section 5.1) into the same
+imperative levels, which is how the paper demonstrates that a new front end
+reuses every transformation below it for free.
+
+The embedding uses a fluent builder::
+
+    q = (QueryMonad.table("R")
+         .filter(col("r_name") == "R1")
+         .hashJoin(QueryMonad.table("S"), col("r_sid"), col("s_rid"))
+         .count())
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from .expr import Expr, wrap
+from . import qplan as Q
+
+
+class QMonadError(Exception):
+    pass
+
+
+@dataclass(repr=False)
+class QueryMonad:
+    """An immutable chain of collection operators over base relations.
+
+    Each combinator returns a new :class:`QueryMonad`; ``op`` names the
+    outermost operator and ``args`` carries its static arguments.  The
+    producer/consumer (build/foreach) encoding of these operators is realised
+    by the shortcut-fusion lowering in :mod:`repro.transforms.fusion`.
+    """
+
+    op: str
+    args: dict = field(default_factory=dict)
+    children: Tuple["QueryMonad", ...] = ()
+
+    # ------------------------------------------------------------------
+    # Sources
+    # ------------------------------------------------------------------
+    @staticmethod
+    def table(name: str, fields: Optional[Sequence[str]] = None) -> "QueryMonad":
+        """The collection of all rows of a base relation."""
+        return QueryMonad("table", {"name": name,
+                                    "fields": tuple(fields) if fields else None})
+
+    # ------------------------------------------------------------------
+    # Transformers (producers and consumers in the build/foreach encoding)
+    # ------------------------------------------------------------------
+    def filter(self, predicate: Expr) -> "QueryMonad":
+        return QueryMonad("filter", {"predicate": wrap(predicate)}, (self,))
+
+    def map(self, projections: Sequence[Tuple[str, Expr]]) -> "QueryMonad":
+        return QueryMonad("map", {"projections": tuple((n, wrap(e)) for n, e in projections)},
+                          (self,))
+
+    def hashJoin(self, other: "QueryMonad", left_key: Expr, right_key: Expr,
+                 kind: str = "inner", residual: Optional[Expr] = None) -> "QueryMonad":
+        if kind not in Q.JOIN_KINDS:
+            raise QMonadError(f"unknown join kind {kind!r}")
+        return QueryMonad("hashJoin", {"left_key": wrap(left_key),
+                                       "right_key": wrap(right_key),
+                                       "kind": kind, "residual": residual},
+                          (self, other))
+
+    def groupBy(self, keys: Sequence[Tuple[str, Expr]],
+                aggregates: Sequence[Q.AggSpec],
+                having: Optional[Expr] = None) -> "QueryMonad":
+        return QueryMonad("groupBy", {"keys": tuple((n, wrap(e)) for n, e in keys),
+                                      "aggregates": tuple(aggregates),
+                                      "having": having}, (self,))
+
+    def sortBy(self, keys: Sequence[Tuple[Expr, str]]) -> "QueryMonad":
+        return QueryMonad("sortBy", {"keys": tuple((wrap(e), o) for e, o in keys)}, (self,))
+
+    def take(self, count: int) -> "QueryMonad":
+        return QueryMonad("take", {"count": int(count)}, (self,))
+
+    # ------------------------------------------------------------------
+    # Folds (pure consumers)
+    # ------------------------------------------------------------------
+    def count(self, name: str = "count") -> "QueryMonad":
+        return self.fold([Q.AggSpec("count", None, name)])
+
+    def sum(self, expression: Expr, name: str = "sum") -> "QueryMonad":
+        return self.fold([Q.AggSpec("sum", wrap(expression), name)])
+
+    def avg(self, expression: Expr, name: str = "avg") -> "QueryMonad":
+        return self.fold([Q.AggSpec("avg", wrap(expression), name)])
+
+    def fold(self, aggregates: Sequence[Q.AggSpec]) -> "QueryMonad":
+        """A global fold over the collection (the ``foldr`` of Section 5.1)."""
+        return QueryMonad("fold", {"aggregates": tuple(aggregates)}, (self,))
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+    def describe(self) -> str:
+        if self.op == "table":
+            return f"table({self.args['name']})"
+        return self.op
+
+    def tree_repr(self, indent: int = 0) -> str:
+        lines = ["  " * indent + self.describe()]
+        for child in self.children:
+            lines.append(child.tree_repr(indent + 1))
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return self.tree_repr()
+
+
+def to_qplan(query: QueryMonad) -> Q.Operator:
+    """Translate a QMonad chain into the equivalent algebraic plan.
+
+    The translation is purely structural — each collection operator has a
+    direct algebraic counterpart — and is used by the shortcut-fusion lowering
+    to reuse the producer/consumer machinery of the push engine (the paper
+    observes in Section 5.1 that the two encodings coincide).
+    """
+    if query.op == "table":
+        return Q.Scan(query.args["name"], query.args["fields"])
+    if query.op == "filter":
+        return Q.Select(to_qplan(query.children[0]), query.args["predicate"])
+    if query.op == "map":
+        return Q.Project(to_qplan(query.children[0]), query.args["projections"])
+    if query.op == "hashJoin":
+        return Q.HashJoin(to_qplan(query.children[0]), to_qplan(query.children[1]),
+                          query.args["left_key"], query.args["right_key"],
+                          query.args["kind"], query.args["residual"])
+    if query.op == "groupBy":
+        return Q.Agg(to_qplan(query.children[0]), query.args["keys"],
+                     query.args["aggregates"], query.args["having"])
+    if query.op == "fold":
+        return Q.Agg(to_qplan(query.children[0]), (), query.args["aggregates"])
+    if query.op == "sortBy":
+        return Q.Sort(to_qplan(query.children[0]), query.args["keys"])
+    if query.op == "take":
+        return Q.Limit(to_qplan(query.children[0]), query.args["count"])
+    raise QMonadError(f"unknown QMonad operator {query.op!r}")

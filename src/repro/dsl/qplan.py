@@ -1,0 +1,368 @@
+"""QPlan: the physical query-plan DSL (the paper's algebraic front end).
+
+QPlan programs are plain operator trees — the paper notes that an AST is a
+sufficient IR for algebraic languages without variable bindings.  The operator
+vocabulary covers what commercial engines provide and what the 22 TPC-H
+queries need: scans, selections, projections, hash joins (inner, semi, anti,
+outer), nested-loop joins, group-by aggregation, sorting and limits.
+
+A QPlan tree is consumed by three clients:
+
+* the Volcano interpreter (:mod:`repro.engine.volcano`) executes it directly,
+* the template expander (:mod:`repro.engine.template_expander`) macro-expands
+  it into Python source in one step, and
+* the DSL stack lowers it through the intermediate languages
+  (:mod:`repro.transforms.pipelining` and friends).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .expr import Col, Expr, ExprError, columns_used, wrap
+
+
+class PlanError(Exception):
+    pass
+
+
+#: Join kinds supported by the join operators.
+JOIN_KINDS = ("inner", "leftsemi", "leftanti", "leftouter")
+
+#: Aggregate kinds supported by AggSpec.
+AGG_KINDS = ("sum", "count", "avg", "min", "max", "count_distinct")
+
+
+@dataclass(frozen=True)
+class AggSpec:
+    """One aggregate of a group-by: ``name = kind(expr)``.
+
+    ``expr`` is ``None`` for ``count(*)``.
+    """
+
+    kind: str
+    expr: Optional[Expr]
+    name: str
+
+    def __post_init__(self) -> None:
+        if self.kind not in AGG_KINDS:
+            raise PlanError(f"unknown aggregate kind {self.kind!r}")
+        if self.kind != "count" and self.expr is None:
+            raise PlanError(f"aggregate {self.kind!r} requires an argument expression")
+
+
+class Operator:
+    """Base class of QPlan operators."""
+
+    def children(self) -> Tuple["Operator", ...]:
+        raise NotImplementedError
+
+    def with_children(self, children: Sequence["Operator"]) -> "Operator":
+        raise NotImplementedError
+
+    def tree_repr(self, indent: int = 0) -> str:
+        pad = "  " * indent
+        lines = [pad + self.describe()]
+        for child in self.children():
+            lines.append(child.tree_repr(indent + 1))
+        return "\n".join(lines)
+
+    def describe(self) -> str:
+        return type(self).__name__
+
+    def __repr__(self) -> str:
+        return self.tree_repr()
+
+
+@dataclass(repr=False)
+class Scan(Operator):
+    """Full scan of a base relation.
+
+    ``fields`` restricts which columns the scan materialises; ``None`` means
+    every column of the table (the unused-field-removal optimization prunes
+    this at the QPlan level).
+    """
+
+    table: str
+    fields: Optional[Tuple[str, ...]] = None
+
+    def children(self) -> Tuple[Operator, ...]:
+        return ()
+
+    def with_children(self, children: Sequence[Operator]) -> "Scan":
+        return self
+
+    def describe(self) -> str:
+        fields = "*" if self.fields is None else ", ".join(self.fields)
+        return f"Scan({self.table}: {fields})"
+
+
+@dataclass(repr=False)
+class Select(Operator):
+    """Filter rows by a predicate."""
+
+    child: Operator
+    predicate: Expr
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "Select":
+        return Select(children[0], self.predicate)
+
+    def describe(self) -> str:
+        return f"Select({self.predicate!r})"
+
+
+@dataclass(repr=False)
+class Project(Operator):
+    """Compute (and rename) output columns: ``projections = [(name, expr), ...]``."""
+
+    child: Operator
+    projections: Tuple[Tuple[str, Expr], ...]
+
+    def __post_init__(self) -> None:
+        self.projections = tuple((name, wrap(expr)) for name, expr in self.projections)
+        names = [name for name, _ in self.projections]
+        if len(names) != len(set(names)):
+            raise PlanError("duplicate output names in projection")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "Project":
+        return Project(children[0], self.projections)
+
+    def describe(self) -> str:
+        return f"Project({', '.join(name for name, _ in self.projections)})"
+
+
+@dataclass(repr=False)
+class HashJoin(Operator):
+    """Equi hash join.
+
+    The join builds a hash table on ``left_key`` over the left input and
+    probes it with ``right_key`` for every right row.  ``kind`` selects the
+    join flavour (inner / leftsemi / leftanti / leftouter, all with respect to
+    the **left** input).  ``residual`` is an extra predicate evaluated on the
+    pair of matching rows (with sided column references when names collide).
+    """
+
+    left: Operator
+    right: Operator
+    left_key: Expr
+    right_key: Expr
+    kind: str = "inner"
+    residual: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {self.kind!r}")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Operator]) -> "HashJoin":
+        return HashJoin(children[0], children[1], self.left_key, self.right_key,
+                        self.kind, self.residual)
+
+    def describe(self) -> str:
+        return f"HashJoin[{self.kind}]({self.left_key!r} = {self.right_key!r})"
+
+
+@dataclass(repr=False)
+class NestedLoopJoin(Operator):
+    """Nested-loop join for non-equi predicates (and cross products)."""
+
+    left: Operator
+    right: Operator
+    predicate: Optional[Expr] = None
+    kind: str = "inner"
+
+    def __post_init__(self) -> None:
+        if self.kind not in JOIN_KINDS:
+            raise PlanError(f"unknown join kind {self.kind!r}")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.left, self.right)
+
+    def with_children(self, children: Sequence[Operator]) -> "NestedLoopJoin":
+        return NestedLoopJoin(children[0], children[1], self.predicate, self.kind)
+
+    def describe(self) -> str:
+        return f"NestedLoopJoin[{self.kind}]({self.predicate!r})"
+
+
+@dataclass(repr=False)
+class Agg(Operator):
+    """Group-by aggregation.
+
+    ``group_keys`` is a list of ``(name, expr)`` pairs; an empty list produces
+    a single global aggregate row.  ``having`` filters groups after
+    aggregation (it may reference group keys and aggregate names).
+    """
+
+    child: Operator
+    group_keys: Tuple[Tuple[str, Expr], ...]
+    aggregates: Tuple[AggSpec, ...]
+    having: Optional[Expr] = None
+
+    def __post_init__(self) -> None:
+        self.group_keys = tuple((name, wrap(expr)) for name, expr in self.group_keys)
+        self.aggregates = tuple(self.aggregates)
+        names = [name for name, _ in self.group_keys] + [a.name for a in self.aggregates]
+        if len(names) != len(set(names)):
+            raise PlanError("duplicate output names in aggregation")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "Agg":
+        return Agg(children[0], self.group_keys, self.aggregates, self.having)
+
+    def describe(self) -> str:
+        keys = ", ".join(name for name, _ in self.group_keys)
+        aggs = ", ".join(f"{a.name}={a.kind}" for a in self.aggregates)
+        return f"Agg(keys=[{keys}], aggs=[{aggs}])"
+
+
+@dataclass(repr=False)
+class Sort(Operator):
+    """Order rows by a list of ``(expr, 'asc'|'desc')`` keys."""
+
+    child: Operator
+    keys: Tuple[Tuple[Expr, str], ...]
+
+    def __post_init__(self) -> None:
+        self.keys = tuple((wrap(expr), order) for expr, order in self.keys)
+        for _, order in self.keys:
+            if order not in ("asc", "desc"):
+                raise PlanError(f"unknown sort order {order!r}")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "Sort":
+        return Sort(children[0], self.keys)
+
+    def describe(self) -> str:
+        return f"Sort({', '.join(order for _, order in self.keys)})"
+
+
+@dataclass(repr=False)
+class Limit(Operator):
+    """Keep only the first ``count`` rows."""
+
+    child: Operator
+    count: int
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "Limit":
+        return Limit(children[0], self.count)
+
+    def describe(self) -> str:
+        return f"Limit({self.count})"
+
+
+# ---------------------------------------------------------------------------
+# Plan analysis
+# ---------------------------------------------------------------------------
+def walk(plan: Operator):
+    """Yield every operator of a plan (pre-order)."""
+    yield plan
+    for child in plan.children():
+        yield from walk(child)
+
+
+def tables_used(plan: Operator) -> List[str]:
+    """Names of the base relations scanned by a plan (in scan order)."""
+    tables: List[str] = []
+    for node in walk(plan):
+        if isinstance(node, Scan) and node.table not in tables:
+            tables.append(node.table)
+    return tables
+
+
+def output_fields(plan: Operator, catalog) -> List[str]:
+    """Output column names of a plan node (requires the catalog for scans)."""
+    if isinstance(plan, Scan):
+        if plan.fields is not None:
+            return list(plan.fields)
+        return catalog.schema.table(plan.table).column_names()
+    if isinstance(plan, (Select, Limit, Sort)):
+        return output_fields(plan.child, catalog)
+    if isinstance(plan, Project):
+        return [name for name, _ in plan.projections]
+    if isinstance(plan, HashJoin):
+        left = output_fields(plan.left, catalog)
+        if plan.kind in ("leftsemi", "leftanti"):
+            return left
+        right = output_fields(plan.right, catalog)
+        overlap = set(left) & set(right)
+        if overlap:
+            raise PlanError(
+                f"join would produce duplicate column names {sorted(overlap)}; "
+                "rename with a Project before joining")
+        return left + right
+    if isinstance(plan, NestedLoopJoin):
+        left = output_fields(plan.left, catalog)
+        if plan.kind in ("leftsemi", "leftanti"):
+            return left
+        right = output_fields(plan.right, catalog)
+        overlap = set(left) & set(right)
+        if overlap:
+            raise PlanError(
+                f"join would produce duplicate column names {sorted(overlap)}; "
+                "rename with a Project before joining")
+        return left + right
+    if isinstance(plan, Agg):
+        return [name for name, _ in plan.group_keys] + [a.name for a in plan.aggregates]
+    raise PlanError(f"unknown operator {type(plan).__name__}")
+
+
+def validate(plan: Operator, catalog) -> None:
+    """Check that every expression only references columns available to it."""
+    def check(node: Operator) -> List[str]:
+        fields = output_fields(node, catalog)
+        if isinstance(node, Scan):
+            table_columns = set(catalog.schema.table(node.table).column_names())
+            unknown = set(fields) - table_columns
+            if unknown:
+                raise PlanError(f"scan of {node.table!r} selects unknown columns {sorted(unknown)}")
+        if isinstance(node, Select):
+            _require(columns_used(node.predicate), output_fields(node.child, catalog), node)
+        if isinstance(node, Project):
+            child_fields = output_fields(node.child, catalog)
+            for _, expr in node.projections:
+                _require(columns_used(expr), child_fields, node)
+        if isinstance(node, HashJoin):
+            _require(columns_used(node.left_key), output_fields(node.left, catalog), node)
+            _require(columns_used(node.right_key), output_fields(node.right, catalog), node)
+        if isinstance(node, Agg):
+            child_fields = output_fields(node.child, catalog)
+            for _, expr in node.group_keys:
+                _require(columns_used(expr), child_fields, node)
+            for agg in node.aggregates:
+                if agg.expr is not None:
+                    _require(columns_used(agg.expr), child_fields, node)
+            if node.having is not None:
+                _require(columns_used(node.having), fields, node)
+        if isinstance(node, Sort):
+            child_fields = output_fields(node.child, catalog)
+            for expr, _ in node.keys:
+                _require(columns_used(expr), child_fields, node)
+        for child in node.children():
+            check(child)
+        return fields
+
+    check(plan)
+
+
+def _require(columns: Sequence[str], available: Sequence[str], node: Operator) -> None:
+    missing = [c for c in columns if c not in available]
+    if missing:
+        raise PlanError(
+            f"{node.describe()}: references unavailable columns {missing}; "
+            f"available: {sorted(available)}")

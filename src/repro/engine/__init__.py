@@ -1,0 +1,5 @@
+"""Execution engines used as baselines: the Volcano interpreter and the template expander."""
+from .template_expander import TemplateExpander
+from .volcano import VolcanoEngine, execute
+
+__all__ = ["TemplateExpander", "VolcanoEngine", "execute"]

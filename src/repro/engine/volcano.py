@@ -1,0 +1,270 @@
+"""Volcano-style (iterator model) query interpreter.
+
+This is the classical pull-based engine the paper contrasts compilation with:
+every operator is a generator that pulls rows from its children one at a time,
+paying interpretation overhead (virtual dispatch, boxed row dictionaries,
+per-row expression-tree walking) for every tuple.
+
+The interpreter plays two roles in this repository:
+
+* it is the **interpreter baseline** of the benchmark harness, and
+* it is the **reference implementation**: every compiled configuration must
+  produce exactly the same rows on every query (integration tests enforce it).
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+
+from ..dsl import qplan
+from ..dsl.expr import evaluate
+from ..storage.catalog import Catalog
+
+Row = Dict[str, Any]
+
+
+class VolcanoError(Exception):
+    pass
+
+
+class VolcanoEngine:
+    """Pull-based interpreter over QPlan operator trees."""
+
+    def __init__(self, catalog: Catalog) -> None:
+        self.catalog = catalog
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def execute(self, plan: qplan.Operator) -> List[Row]:
+        """Run a plan to completion and return the list of output rows."""
+        return list(self.iterate(plan))
+
+    def iterate(self, plan: qplan.Operator) -> Iterator[Row]:
+        """The iterator-model ``open/next/close`` pipeline for one operator."""
+        if isinstance(plan, qplan.Scan):
+            return self._scan(plan)
+        if isinstance(plan, qplan.Select):
+            return self._select(plan)
+        if isinstance(plan, qplan.Project):
+            return self._project(plan)
+        if isinstance(plan, qplan.HashJoin):
+            return self._hash_join(plan)
+        if isinstance(plan, qplan.NestedLoopJoin):
+            return self._nested_loop_join(plan)
+        if isinstance(plan, qplan.Agg):
+            return self._aggregate(plan)
+        if isinstance(plan, qplan.Sort):
+            return self._sort(plan)
+        if isinstance(plan, qplan.Limit):
+            return self._limit(plan)
+        raise VolcanoError(f"unknown operator {type(plan).__name__}")
+
+    # ------------------------------------------------------------------
+    # Operators
+    # ------------------------------------------------------------------
+    def _scan(self, plan: qplan.Scan) -> Iterator[Row]:
+        table = self.catalog.table(plan.table)
+        fields = plan.fields if plan.fields is not None else table.schema.column_names()
+        columns = [table.column(name) for name in fields]
+        for i in range(table.num_rows):
+            yield {name: column[i] for name, column in zip(fields, columns)}
+
+    def _select(self, plan: qplan.Select) -> Iterator[Row]:
+        for row in self.iterate(plan.child):
+            if evaluate(plan.predicate, row):
+                yield row
+
+    def _project(self, plan: qplan.Project) -> Iterator[Row]:
+        for row in self.iterate(plan.child):
+            yield {name: evaluate(expr, row) for name, expr in plan.projections}
+
+    def _hash_join(self, plan: qplan.HashJoin) -> Iterator[Row]:
+        # Build phase: hash the left input on its key.
+        buckets: Dict[Any, List[Row]] = {}
+        for row in self.iterate(plan.left):
+            key = evaluate(plan.left_key, row)
+            buckets.setdefault(key, []).append(row)
+
+        if plan.kind == "inner":
+            yield from self._probe_inner(plan, buckets)
+        elif plan.kind == "leftouter":
+            yield from self._probe_outer(plan, buckets)
+        elif plan.kind in ("leftsemi", "leftanti"):
+            yield from self._probe_semi_anti(plan, buckets)
+        else:  # pragma: no cover - guarded by the QPlan constructor
+            raise VolcanoError(f"unknown join kind {plan.kind!r}")
+
+    def _probe_inner(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+        for right_row in self.iterate(plan.right):
+            key = evaluate(plan.right_key, right_row)
+            for left_row in buckets.get(key, ()):
+                if self._residual_ok(plan, left_row, right_row):
+                    yield {**left_row, **right_row}
+
+    def _probe_outer(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+        """Left outer join: every left row appears; unmatched ones are null-padded.
+
+        The probe side is the right input, so matches are gathered per left
+        row first, then unmatched left rows are emitted with ``None`` columns.
+        """
+        right_fields = qplan.output_fields(plan.right, self.catalog)
+        matched: Dict[int, bool] = {}
+        left_rows: List[Row] = [row for rows in buckets.values() for row in rows]
+        matched_pairs: List[Tuple[Row, Row]] = []
+        for right_row in self.iterate(plan.right):
+            key = evaluate(plan.right_key, right_row)
+            for left_row in buckets.get(key, ()):
+                if self._residual_ok(plan, left_row, right_row):
+                    matched[id(left_row)] = True
+                    matched_pairs.append((left_row, right_row))
+        for left_row, right_row in matched_pairs:
+            yield {**left_row, **right_row}
+        null_pad = {name: None for name in right_fields}
+        for left_row in left_rows:
+            if id(left_row) not in matched:
+                yield {**left_row, **null_pad}
+
+    def _probe_semi_anti(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+        """Semi/anti join: emit left rows with (without) at least one match."""
+        matched: Dict[int, bool] = {}
+        for right_row in self.iterate(plan.right):
+            key = evaluate(plan.right_key, right_row)
+            for left_row in buckets.get(key, ()):
+                if self._residual_ok(plan, left_row, right_row):
+                    matched[id(left_row)] = True
+        want_match = plan.kind == "leftsemi"
+        for rows in buckets.values():
+            for left_row in rows:
+                if (id(left_row) in matched) == want_match:
+                    yield left_row
+
+    def _nested_loop_join(self, plan: qplan.NestedLoopJoin) -> Iterator[Row]:
+        right_rows = list(self.iterate(plan.right))
+        if plan.kind == "inner":
+            for left_row in self.iterate(plan.left):
+                for right_row in right_rows:
+                    if self._nl_predicate_ok(plan, left_row, right_row):
+                        yield {**left_row, **right_row}
+        elif plan.kind in ("leftsemi", "leftanti"):
+            want_match = plan.kind == "leftsemi"
+            for left_row in self.iterate(plan.left):
+                has_match = any(self._nl_predicate_ok(plan, left_row, right_row)
+                                for right_row in right_rows)
+                if has_match == want_match:
+                    yield left_row
+        elif plan.kind == "leftouter":
+            right_fields = qplan.output_fields(plan.right, self.catalog)
+            null_pad = {name: None for name in right_fields}
+            for left_row in self.iterate(plan.left):
+                found = False
+                for right_row in right_rows:
+                    if self._nl_predicate_ok(plan, left_row, right_row):
+                        found = True
+                        yield {**left_row, **right_row}
+                if not found:
+                    yield {**left_row, **null_pad}
+        else:  # pragma: no cover
+            raise VolcanoError(f"unknown join kind {plan.kind!r}")
+
+    def _aggregate(self, plan: qplan.Agg) -> Iterator[Row]:
+        groups: Dict[Tuple, List[Any]] = {}
+        key_rows: Dict[Tuple, Row] = {}
+        distinct_sets: Dict[Tuple, List[set]] = {}
+        aggs = plan.aggregates
+
+        for row in self.iterate(plan.child):
+            key = tuple(evaluate(expr, row) for _, expr in plan.group_keys)
+            if key not in groups:
+                groups[key] = [_initial_accumulator(a) for a in aggs]
+                key_rows[key] = {name: value
+                                 for (name, _), value in zip(plan.group_keys, key)}
+                distinct_sets[key] = [set() if a.kind == "count_distinct" else None
+                                      for a in aggs]
+            accumulators = groups[key]
+            sets = distinct_sets[key]
+            for i, agg in enumerate(aggs):
+                accumulators[i] = _fold_accumulator(agg, accumulators[i], row, sets[i])
+
+        for key, accumulators in groups.items():
+            out = dict(key_rows[key])
+            for agg, accumulator in zip(aggs, accumulators):
+                out[agg.name] = _finalise_accumulator(agg, accumulator)
+            if plan.having is None or evaluate(plan.having, out):
+                yield out
+
+    def _sort(self, plan: qplan.Sort) -> Iterator[Row]:
+        rows = list(self.iterate(plan.child))
+        # Stable sorts applied from the least-significant key to the most
+        # significant one implement multi-key ASC/DESC ordering.
+        for expr, order in reversed(plan.keys):
+            rows.sort(key=lambda row: evaluate(expr, row), reverse=(order == "desc"))
+        return iter(rows)
+
+    def _limit(self, plan: qplan.Limit) -> Iterator[Row]:
+        count = 0
+        for row in self.iterate(plan.child):
+            if count >= plan.count:
+                break
+            count += 1
+            yield row
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _residual_ok(self, plan: qplan.HashJoin, left_row: Row, right_row: Row) -> bool:
+        if plan.residual is None:
+            return True
+        return bool(evaluate(plan.residual, {**left_row, **right_row},
+                             left=left_row, right=right_row))
+
+    def _nl_predicate_ok(self, plan: qplan.NestedLoopJoin, left_row: Row, right_row: Row) -> bool:
+        if plan.predicate is None:
+            return True
+        return bool(evaluate(plan.predicate, {**left_row, **right_row},
+                             left=left_row, right=right_row))
+
+
+def _initial_accumulator(agg: qplan.AggSpec):
+    if agg.kind in ("sum", "count"):
+        return 0
+    if agg.kind == "avg":
+        return (0.0, 0)
+    if agg.kind == "count_distinct":
+        return 0
+    return None  # min / max start undefined
+
+
+def _fold_accumulator(agg: qplan.AggSpec, accumulator, row: Row, distinct_set):
+    if agg.kind == "count":
+        if agg.expr is None:
+            return accumulator + 1
+        value = evaluate(agg.expr, row)
+        return accumulator + (0 if value is None else 1)
+    value = evaluate(agg.expr, row)
+    if value is None:
+        return accumulator
+    if agg.kind == "sum":
+        return accumulator + value
+    if agg.kind == "avg":
+        total, count = accumulator
+        return (total + value, count + 1)
+    if agg.kind == "min":
+        return value if accumulator is None or value < accumulator else accumulator
+    if agg.kind == "max":
+        return value if accumulator is None or value > accumulator else accumulator
+    if agg.kind == "count_distinct":
+        distinct_set.add(value)
+        return len(distinct_set)
+    raise VolcanoError(f"unknown aggregate {agg.kind!r}")
+
+
+def _finalise_accumulator(agg: qplan.AggSpec, accumulator):
+    if agg.kind == "avg":
+        total, count = accumulator
+        return total / count if count else None
+    return accumulator
+
+
+def execute(plan: qplan.Operator, catalog: Catalog) -> List[Row]:
+    """Convenience wrapper: run ``plan`` against ``catalog`` with a fresh engine."""
+    return VolcanoEngine(catalog).execute(plan)

@@ -1,0 +1,58 @@
+"""Annotation side-table keyed by IR symbols.
+
+Section 3.3: "since ANF assigns a unique symbol to each subexpression, this
+process is simplified by keeping a hash-table from these unique symbols to
+their associated annotations".  Annotations carry high-level information that
+is no longer expressible at the current abstraction level — for example that a
+column is a primary key, that a loop's trip count is bounded by a table's
+cardinality, or that a user-defined function is pure.
+"""
+from __future__ import annotations
+
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .nodes import Sym
+
+
+class AnnotationTable:
+    """A mapping from symbols to named annotations."""
+
+    def __init__(self) -> None:
+        self._table: Dict[int, Dict[str, Any]] = {}
+
+    def set(self, sym: Sym, key: str, value: Any) -> None:
+        self._table.setdefault(sym.id, {})[key] = value
+
+    def get(self, sym: Sym, key: str, default: Any = None) -> Any:
+        return self._table.get(sym.id, {}).get(key, default)
+
+    def has(self, sym: Sym, key: str) -> bool:
+        return key in self._table.get(sym.id, {})
+
+    def all_for(self, sym: Sym) -> Dict[str, Any]:
+        return dict(self._table.get(sym.id, {}))
+
+    def copy_from(self, source: Sym, target: Sym) -> None:
+        """Propagate every annotation of ``source`` to ``target``.
+
+        Lowerings call this when they replace a symbol by a lower-level one so
+        that high-level facts guided from above survive the translation.
+        """
+        if source.id in self._table:
+            self._table.setdefault(target.id, {}).update(self._table[source.id])
+
+    def items(self) -> Iterator[Tuple[int, Dict[str, Any]]]:
+        return iter(self._table.items())
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+
+#: Well-known annotation keys used across the stack.
+PRIMARY_KEY = "primary_key"
+FOREIGN_KEY = "foreign_key"
+KEY_RANGE = "key_range"
+CARDINALITY_BOUND = "cardinality_bound"
+PURE_UDF = "pure_udf"
+SOURCE_TABLE = "source_table"
+SOURCE_COLUMN = "source_column"

@@ -1,0 +1,199 @@
+"""The registry of IR operations used across the DSL stack.
+
+Every imperative DSL level of the stack (ScaLite[Map, List], ScaLite[List],
+ScaLite and C.Py) shares the same ANF data structure (:mod:`repro.ir.nodes`)
+but restricts which *operations* may appear — footnote 6 of the paper.  This
+module is the single source of truth for those operations: each op is
+registered once with its effect summary, and the language definitions in
+:mod:`repro.stack.language` pick subsets of this registry.
+
+Registering effects centrally means generic transformations (CSE, DCE, code
+motion, hoisting) never need op-specific data-flow analysis, which is the
+point the paper makes for choosing ANF as the IR (Section 3.3).
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from .effects import (ALLOC, CONTROL, Effect, IO, PURE, READ, READ_WRITE,
+                      WRITE)
+
+
+@dataclass(frozen=True)
+class OpDef:
+    """Definition of one IR operation kind."""
+
+    name: str
+    effect: Effect = PURE
+    doc: str = ""
+    #: number of nested blocks the op expects (None = any)
+    n_blocks: Optional[int] = 0
+
+
+class OpRegistry:
+    """A registry mapping op names to their :class:`OpDef`."""
+
+    def __init__(self) -> None:
+        self._ops: Dict[str, OpDef] = {}
+
+    def register(self, name: str, effect: Effect = PURE, doc: str = "",
+                 n_blocks: Optional[int] = 0) -> OpDef:
+        if name in self._ops:
+            raise ValueError(f"op {name!r} registered twice")
+        op = OpDef(name, effect, doc, n_blocks)
+        self._ops[name] = op
+        return op
+
+    def get(self, name: str) -> OpDef:
+        try:
+            return self._ops[name]
+        except KeyError:
+            raise KeyError(f"unknown IR op {name!r}; register it in repro.ir.ops") from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._ops
+
+    def names(self):
+        return set(self._ops)
+
+    def effect_of(self, name: str) -> Effect:
+        return self.get(name).effect
+
+
+#: The global registry used by the builder, the languages and the unparser.
+REGISTRY = OpRegistry()
+_r = REGISTRY.register
+
+# ---------------------------------------------------------------------------
+# Pure scalar operations (available at every imperative level).
+# ---------------------------------------------------------------------------
+ARITHMETIC_OPS = ("add", "sub", "mul", "div", "mod", "neg", "min2", "max2")
+COMPARISON_OPS = ("eq", "ne", "lt", "le", "gt", "ge")
+LOGICAL_OPS = ("and_", "or_", "not_", "band", "bor")
+CONVERSION_OPS = ("to_float", "to_int", "year_of_date")
+STRING_OPS = ("str_contains", "str_startswith", "str_endswith", "str_like",
+              "str_length", "str_substr", "str_in")
+TUPLE_OPS = ("tuple_new", "tuple_get")
+
+for _name in ARITHMETIC_OPS + COMPARISON_OPS + LOGICAL_OPS + CONVERSION_OPS + TUPLE_OPS:
+    _r(_name, PURE)
+
+for _name in STRING_OPS:
+    _r(_name, PURE, doc="string operation; target of the string-dictionary optimization")
+
+# ---------------------------------------------------------------------------
+# Control flow (ScaLite core: bounded loops and conditionals).
+# ---------------------------------------------------------------------------
+_r("if_", CONTROL, "if(cond) then-block else-block", n_blocks=2)
+_r("for_range", CONTROL, "bounded loop over [start, end) with one index parameter", n_blocks=1)
+_r("while_", CONTROL, "while loop: condition block + body block", n_blocks=2)
+
+# ---------------------------------------------------------------------------
+# Mutable local variables (ScaLite `var`).
+# ---------------------------------------------------------------------------
+_r("var_new", ALLOC, "allocate a mutable local variable with an initial value")
+_r("var_read", READ, "read the current value of a mutable variable")
+_r("var_write", WRITE, "assign a new value to a mutable variable")
+
+# ---------------------------------------------------------------------------
+# Records (structs).
+# ---------------------------------------------------------------------------
+_r("record_new", ALLOC, "construct a record; attrs: fields=(names...), layout='boxed'|'row'")
+_r("record_get", READ, "read a record field; attrs: field=<name>")
+
+# ---------------------------------------------------------------------------
+# Arrays (ScaLite: fixed-size and dynamic arrays).
+# ---------------------------------------------------------------------------
+_r("array_new", ALLOC, "allocate an array of a given size; attrs: init=<default value>")
+_r("array_get", READ)
+_r("array_set", WRITE)
+_r("array_len", READ)
+
+# ---------------------------------------------------------------------------
+# Lists (ScaLite[List] and below; also used for query results).
+# ---------------------------------------------------------------------------
+_r("list_new", ALLOC)
+_r("list_append", WRITE)
+_r("list_foreach", CONTROL, "iterate a list; one body block with one element parameter", n_blocks=1)
+_r("list_len", READ)
+_r("list_get", READ)
+_r("list_clear", WRITE)
+_r("list_sort_by_fields", Effect(reads=True, allocates=True),
+   "sort a list of records; attrs: keys=[(field, 'asc'|'desc'), ...]")
+_r("list_sort_by_index", Effect(reads=True, allocates=True),
+   "sort a list of records/tuples by positional key; attrs: keys=[(index, order), ...]")
+_r("list_take", Effect(reads=True, allocates=True), "first n elements of a list")
+
+# ---------------------------------------------------------------------------
+# Hash tables and sets: ScaLite[Map, List].  These same ops double as the
+# generic library (GLib substitute) containers when they survive down to C.Py
+# in the 2- and 3-level stack configurations.
+# ---------------------------------------------------------------------------
+_r("mmap_new", ALLOC, "MultiMap: key -> list of values (hash joins)")
+_r("mmap_add", WRITE, "append a value to the bucket of a key")
+_r("mmap_get", READ, "return the bucket list of a key (empty list if absent)")
+_r("hashmap_agg_new", ALLOC,
+   "HashMap keyed aggregation table; attrs: aggs=[('sum'|'count'|'min'|'max'|'avg'), ...]")
+_r("hashmap_agg_update", WRITE,
+   "get-or-initialise the accumulator row of a key and fold the given values into it")
+_r("hashmap_agg_foreach", CONTROL,
+   "iterate (key, accumulator-values) pairs of an aggregation table", n_blocks=1)
+_r("set_new", ALLOC)
+_r("set_add", WRITE)
+_r("set_contains", READ)
+_r("set_len", READ)
+
+# ---------------------------------------------------------------------------
+# Database access (the loaded catalog is a parameter of every program).
+# ---------------------------------------------------------------------------
+_r("table_size", READ, "number of rows of a table; attrs: table=<name>")
+_r("table_column", READ, "column array of a table; attrs: table=<name>, column=<name>")
+
+# ---------------------------------------------------------------------------
+# Specialised data structures introduced by the level-4/5 lowerings
+# (hash-table specialization, index inference, partitioning, string
+# dictionaries, dense aggregation arrays).  Only allowed at ScaLite[List] and
+# below: they are the *result* of lowering the Map/List abstractions.
+# ---------------------------------------------------------------------------
+_r("index_build_multi", ALLOC,
+   "partition a table by an integer key: bucket[key] = list of row ids; attrs: table, key_column")
+_r("index_get_multi", READ, "bucket (list of row ids) for a key")
+_r("index_build_unique", ALLOC,
+   "unique index on a primary key: slot[key] = row id; attrs: table, key_column")
+_r("index_get_unique", READ, "row id for a key (-1 when absent)")
+_r("dense_agg_new", ALLOC,
+   "dense aggregation array over a known key range; attrs: aggs=[...], size known at prepare time")
+_r("dense_agg_update", WRITE)
+_r("dense_agg_foreach", CONTROL, n_blocks=1)
+_r("strdict_build", ALLOC,
+   "build a string dictionary over a column; attrs: table, column, ordered=bool")
+_r("strdict_encode_column", ALLOC, "integer-encoded copy of a string column")
+_r("strdict_code", READ, "dictionary code of a constant string (-1 when absent)")
+_r("strdict_prefix_range", READ,
+   "[start, end] code range of the strings with a given prefix (ordered dictionaries only)")
+
+# ---------------------------------------------------------------------------
+# C.Py level: explicit memory management (the C.Scala analogue).
+# ---------------------------------------------------------------------------
+_r("malloc", ALLOC, "allocate one record-sized chunk; attrs: record fields")
+_r("free", WRITE)
+_r("pool_new", ALLOC, "pre-allocate a memory pool of records; attrs: size hint")
+_r("pool_next", READ_WRITE, "take the next free record slot from a pool")
+_r("ptr_field_get", READ, "read a field through a pointer; attrs: field")
+_r("ptr_field_set", WRITE, "write a field through a pointer; attrs: field")
+
+# ---------------------------------------------------------------------------
+# Output / debugging.
+# ---------------------------------------------------------------------------
+_r("emit_row", WRITE, "append an output row to the query result list")
+_r("print_", IO)
+
+
+def effect_of(op_name: str) -> Effect:
+    """Effect summary of a registered op (raises ``KeyError`` for unknown ops)."""
+    return REGISTRY.effect_of(op_name)
+
+
+def is_registered(op_name: str) -> bool:
+    return op_name in REGISTRY

@@ -1,0 +1,180 @@
+"""The stack configurations evaluated in the paper (Section 7, Table 3).
+
+Each configuration is a :class:`~repro.stack.pipeline.DslStack` plus the
+optimization flags that gate individual transformations:
+
+=================  ==========================================================
+configuration      stack / optimizations
+=================  ==========================================================
+``dblab-2``        QPlan → C.Py.  Pipelining (push engine) only; boxed
+                   records, generic containers.
+``dblab-3``        QPlan → ScaLite → C.Py.  Adds data layout (row tuples /
+                   scalar fields), scalar replacement, DCE, CSE, partial
+                   evaluation, allocation hoisting, unused-field removal.
+``dblab-4``        QPlan → ScaLite[Map, List] → ScaLite → C.Py.  Adds string
+                   dictionaries, hash-table specialization, automatic index
+                   inference and data-structure partitioning.
+``dblab-5``        QPlan → ScaLite[Map, List] → ScaLite[List] → ScaLite →
+                   C.Py.  Adds list specialization (primary-key maps become
+                   direct arrays) and the fine-grained control-flow
+                   optimizations.
+``tpch-compliant`` The five-level stack with string dictionaries,
+                   partitioning, index inference and unused-field removal
+                   disabled (footnote 11 of the paper).
+=================  ==========================================================
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..transforms.control_flow import BranchlessBooleans
+from ..transforms.dce import DeadCodeElimination
+from ..transforms.field_removal import UnusedFieldRemoval
+from ..transforms.fusion import MonadFusionRules, QMonadShortcutFusionLowering
+from ..transforms.hashmap_specialization import HashTableSpecialization
+from ..transforms.list_specialization import ListSpecialization
+from ..transforms.lower_to_cpy import ScaLiteToCPy
+from ..transforms.memory_hoisting import MemoryAllocationHoisting
+from ..transforms.partial_eval import PartialEvaluation
+from ..transforms.pipelining import PushPipelineLowering
+from ..transforms.scalar_replacement import ScalarReplacement
+from ..transforms.string_dictionary import StringDictionaries
+from .context import OptimizationFlags
+from .language import C_PY, QMONAD, QPLAN, SCALITE, SCALITE_LIST, SCALITE_MAP_LIST
+from .pipeline import DslStack
+
+#: The configuration names, in the order Table 3 reports them.
+CONFIG_NAMES = ("dblab-2", "dblab-3", "dblab-4", "dblab-5", "tpch-compliant")
+
+
+@dataclass
+class StackConfig:
+    """A named stack configuration: the DSL stack plus its optimization flags."""
+
+    name: str
+    stack: DslStack
+    flags: OptimizationFlags
+    levels: int
+
+    def describe(self) -> str:
+        return f"{self.name}: {self.levels} levels; flags: {', '.join(self.flags.enabled())}"
+
+
+def _flags_level2() -> OptimizationFlags:
+    return OptimizationFlags.all_disabled().copy_with(
+        pipelining=True, operator_inlining=True)
+
+
+def _flags_level3() -> OptimizationFlags:
+    return _flags_level2().copy_with(
+        data_layout=True, scalar_replacement=True, dce=True, cse=True,
+        partial_evaluation=True, let_binding_removal=True, memory_hoisting=True,
+        unused_field_removal=True, flatten_nested_structs=True)
+
+
+def _flags_level4() -> OptimizationFlags:
+    return _flags_level3().copy_with(
+        hash_table_specialization=True, automatic_index_inference=True,
+        data_structure_partitioning=True, string_dictionaries=True,
+        init_hoisting=True)
+
+
+def _flags_level5() -> OptimizationFlags:
+    # Note: the branchless-boolean rewrite (`x && y` -> `x & y`, Appendix E)
+    # is implemented and covered by tests but left off by default: under
+    # CPython the bitwise operators dispatch through `__and__` and are slower
+    # than the short-circuit jumps they replace, the opposite of compiled C.
+    return _flags_level4().copy_with(
+        list_specialization=True, constant_array_to_locals=True,
+        control_flow_opts=False, horizontal_fusion=True)
+
+
+def _flags_tpch_compliant() -> OptimizationFlags:
+    """Footnote 11: disable the four optimizations that bend the TPC-H rules."""
+    return _flags_level5().copy_with(
+        string_dictionaries=False, data_structure_partitioning=False,
+        automatic_index_inference=False, unused_field_removal=False)
+
+
+def build_config(name: str) -> StackConfig:
+    """Build one of the named stack configurations."""
+    if name == "dblab-2":
+        stack = DslStack(
+            name,
+            languages=[QPLAN, QMONAD, C_PY],
+            lowerings=[PushPipelineLowering(C_PY), QMonadShortcutFusionLowering(C_PY)],
+            optimizations=[MonadFusionRules()])
+        return StackConfig(name, stack, _flags_level2(), levels=2)
+
+    if name == "dblab-3":
+        stack = DslStack(
+            name,
+            languages=[QPLAN, QMONAD, SCALITE, C_PY],
+            lowerings=[PushPipelineLowering(SCALITE),
+                       QMonadShortcutFusionLowering(SCALITE),
+                       ScaLiteToCPy()],
+            optimizations=[
+                UnusedFieldRemoval(),
+                MonadFusionRules(),
+                ScalarReplacement(SCALITE),
+                PartialEvaluation(SCALITE),
+                DeadCodeElimination(SCALITE),
+                MemoryAllocationHoisting(SCALITE),
+            ])
+        return StackConfig(name, stack, _flags_level3(), levels=3)
+
+    if name == "dblab-4":
+        stack = DslStack(
+            name,
+            languages=[QPLAN, QMONAD, SCALITE_MAP_LIST, SCALITE, C_PY],
+            lowerings=[
+                PushPipelineLowering(SCALITE_MAP_LIST),
+                QMonadShortcutFusionLowering(SCALITE_MAP_LIST),
+                HashTableSpecialization(SCALITE),
+                ScaLiteToCPy(),
+            ],
+            optimizations=[
+                UnusedFieldRemoval(),
+                MonadFusionRules(),
+                StringDictionaries(SCALITE_MAP_LIST),
+                ScalarReplacement(SCALITE),
+                PartialEvaluation(SCALITE),
+                DeadCodeElimination(SCALITE),
+                MemoryAllocationHoisting(SCALITE),
+            ])
+        return StackConfig(name, stack, _flags_level4(), levels=4)
+
+    if name in ("dblab-5", "tpch-compliant"):
+        stack = DslStack(
+            name,
+            languages=[QPLAN, QMONAD, SCALITE_MAP_LIST, SCALITE_LIST, SCALITE, C_PY],
+            lowerings=[
+                PushPipelineLowering(SCALITE_MAP_LIST),
+                QMonadShortcutFusionLowering(SCALITE_MAP_LIST),
+                HashTableSpecialization(SCALITE_LIST, defer_unique_to_list_level=True),
+                ListSpecialization(),
+                ScaLiteToCPy(),
+            ],
+            optimizations=[
+                UnusedFieldRemoval(),
+                MonadFusionRules(),
+                StringDictionaries(SCALITE_MAP_LIST),
+                ScalarReplacement(SCALITE),
+                PartialEvaluation(SCALITE),
+                DeadCodeElimination(SCALITE),
+                MemoryAllocationHoisting(SCALITE),
+                BranchlessBooleans(C_PY),
+            ])
+        flags = _flags_level5() if name == "dblab-5" else _flags_tpch_compliant()
+        return StackConfig(name, stack, flags, levels=5)
+
+    raise KeyError(f"unknown stack configuration {name!r}; known: {CONFIG_NAMES}")
+
+
+def all_configs() -> List[StackConfig]:
+    return [build_config(name) for name in CONFIG_NAMES]
+
+
+def config_flags(name: str) -> OptimizationFlags:
+    return build_config(name).flags

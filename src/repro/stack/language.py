@@ -1,0 +1,170 @@
+"""Definitions of the DSL levels that make up the compilation stack.
+
+The paper's Figure 2 stack, reproduced here:
+
+====================  =====  ==============================================
+Language              level  description
+====================  =====  ==============================================
+``QPlan``             60     physical query-plan algebra (declarative)
+``QMonad``            60     collection-programming front end (declarative)
+``ScaLite[Map,List]`` 40     imperative core + HashMap/MultiMap/List
+``ScaLite[List]``     30     imperative core + List (MultiMaps lowered away)
+``ScaLite``           20     imperative core: bounded loops, records, arrays
+``C.Py``              10     explicit memory/layout constructs; unparsed to
+                             Python source (the C.Scala/C analogue)
+====================  =====  ==============================================
+
+Front-end languages (QPlan, QMonad) are *tree DSLs*: their programs are plain
+operator ASTs, which the paper notes is a sufficient IR for algebraic
+languages without variable bindings.  The imperative levels are *ANF DSLs*:
+they share the :mod:`repro.ir` data structures and differ only in the
+vocabulary of operations they allow.
+
+A higher level number means a higher level of abstraction.  Lowerings must go
+strictly downwards (expressibility principle); the stack validator in
+:mod:`repro.stack.pipeline` enforces the transformation-cohesion principle.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+
+from ..ir import ops as ir_ops
+from ..ir.nodes import Program
+from ..ir.traversal import ops_used
+
+
+class LanguageError(Exception):
+    """A program uses constructs that are not part of its declared language."""
+
+
+@dataclass(frozen=True)
+class Language:
+    """One abstraction level of the DSL stack.
+
+    Attributes:
+        name: the language name (e.g. ``"ScaLite[Map, List]"``).
+        level: numeric abstraction level; larger is more abstract.
+        kind: ``"tree"`` for front-end operator ASTs, ``"anf"`` for ANF DSLs.
+        ops: for ANF DSLs, the names of IR operations programs may use.
+        description: human readable summary (used in reports).
+    """
+
+    name: str
+    level: int
+    kind: str = "anf"
+    ops: FrozenSet[str] = frozenset()
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("tree", "anf"):
+            raise ValueError(f"unknown language kind {self.kind!r}")
+        unknown = {op for op in self.ops if op not in ir_ops.REGISTRY}
+        if unknown:
+            raise ValueError(f"language {self.name!r} references unregistered ops: {sorted(unknown)}")
+
+    def allows_op(self, op: str) -> bool:
+        return op in self.ops
+
+    def validate(self, program) -> None:
+        """Check that ``program`` only uses constructs of this language.
+
+        For ANF programs this verifies the op vocabulary.  Tree programs are
+        validated by their own front-end modules; here we only check that an
+        ANF program was not handed to a tree language by mistake.
+        """
+        if self.kind == "tree":
+            if isinstance(program, Program):
+                raise LanguageError(
+                    f"{self.name} is a front-end (tree) DSL but received an ANF program")
+            return
+        if not isinstance(program, Program):
+            raise LanguageError(f"{self.name} expects an ANF program, got {type(program).__name__}")
+        used = ops_used(program)
+        illegal = used - set(self.ops)
+        if illegal:
+            raise LanguageError(
+                f"program uses ops not allowed in {self.name}: {sorted(illegal)}")
+
+    def __repr__(self) -> str:
+        return f"Language({self.name!r}, level={self.level})"
+
+
+# ---------------------------------------------------------------------------
+# Op groups used to assemble the concrete languages.
+# ---------------------------------------------------------------------------
+_SCALAR_OPS = set(ir_ops.ARITHMETIC_OPS + ir_ops.COMPARISON_OPS + ir_ops.LOGICAL_OPS
+                  + ir_ops.CONVERSION_OPS + ir_ops.STRING_OPS + ir_ops.TUPLE_OPS)
+_CONTROL_OPS = {"if_", "for_range", "while_"}
+_VAR_OPS = {"var_new", "var_read", "var_write"}
+_RECORD_OPS = {"record_new", "record_get"}
+_ARRAY_OPS = {"array_new", "array_get", "array_set", "array_len"}
+_LIST_OPS = {"list_new", "list_append", "list_foreach", "list_len", "list_get",
+             "list_clear", "list_sort_by_fields", "list_sort_by_index", "list_take"}
+_MAP_OPS = {"mmap_new", "mmap_add", "mmap_get",
+            "hashmap_agg_new", "hashmap_agg_update", "hashmap_agg_foreach",
+            "set_new", "set_add", "set_contains", "set_len"}
+_DB_OPS = {"table_size", "table_column"}
+_SPECIALIZED_OPS = {"index_build_multi", "index_get_multi", "index_build_unique",
+                    "index_get_unique", "dense_agg_new", "dense_agg_update",
+                    "dense_agg_foreach", "strdict_build", "strdict_encode_column",
+                    "strdict_code", "strdict_prefix_range"}
+_MEMORY_OPS = {"malloc", "free", "pool_new", "pool_next", "ptr_field_get", "ptr_field_set"}
+_OUTPUT_OPS = {"emit_row", "print_"}
+
+#: The imperative core shared by every ScaLite variant (and C.Py).
+SCALITE_CORE = (_SCALAR_OPS | _CONTROL_OPS | _VAR_OPS | _RECORD_OPS | _ARRAY_OPS
+                | _DB_OPS | _OUTPUT_OPS)
+
+
+# ---------------------------------------------------------------------------
+# The concrete languages of the stack.
+# ---------------------------------------------------------------------------
+QPLAN = Language(
+    name="QPlan", level=60, kind="tree",
+    description="Physical query-plan operators (Scan, Select, HashJoin, Agg, ...)")
+
+QMONAD = Language(
+    name="QMonad", level=60, kind="tree",
+    description="Collection-programming front end (map, filter, hashJoin, fold, ...)")
+
+SCALITE_MAP_LIST = Language(
+    name="ScaLite[Map, List]", level=40, kind="anf",
+    ops=frozenset(SCALITE_CORE | _LIST_OPS | _MAP_OPS),
+    description="Imperative core extended with HashMap, MultiMap and List; "
+                "no nested mutability inside hash tables")
+
+SCALITE_LIST = Language(
+    name="ScaLite[List]", level=30, kind="anf",
+    # MultiMaps are lowered to arrays of lists here, so generic map ops are
+    # still allowed only in their role as GLib-style fallback containers; the
+    # specialised index/dense/strdict structures become available.
+    ops=frozenset(SCALITE_CORE | _LIST_OPS | _MAP_OPS | _SPECIALIZED_OPS),
+    description="Imperative core + lists and specialised (index/dense) structures")
+
+SCALITE = Language(
+    name="ScaLite", level=20, kind="anf",
+    ops=frozenset(SCALITE_CORE | _LIST_OPS | _MAP_OPS | _SPECIALIZED_OPS),
+    description="Imperative core: bounded loops, records, fixed/dynamic arrays; "
+                "memory handled by the host runtime")
+
+C_PY = Language(
+    name="C.Py", level=10, kind="anf",
+    ops=frozenset(SCALITE_CORE | _LIST_OPS | _MAP_OPS | _SPECIALIZED_OPS | _MEMORY_OPS),
+    description="Lowest level: explicit memory management and generic library "
+                "(GLib substitute) containers; unparsed to Python source")
+
+ALL_LANGUAGES: Tuple[Language, ...] = (QPLAN, QMONAD, SCALITE_MAP_LIST, SCALITE_LIST,
+                                       SCALITE, C_PY)
+
+
+def language_by_name(name: str) -> Language:
+    for lang in ALL_LANGUAGES:
+        if lang.name == name:
+            return lang
+    raise KeyError(f"unknown language {name!r}")
+
+
+def ordered_levels() -> List[Language]:
+    """All languages ordered from most abstract to least abstract."""
+    return sorted(ALL_LANGUAGES, key=lambda lang: -lang.level)

@@ -1,0 +1,232 @@
+"""The DSL stack: languages, transformations, principle checks and compilation.
+
+This module is the heart of the paper's contribution: instead of a monolithic
+template expander, the compiler is assembled from independent abstraction
+levels.  :class:`DslStack` owns the set of languages and transformations,
+verifies the two design principles of Section 2 when it is constructed, and
+drives compilation by alternating fixed-point optimization within a level with
+a single lowering to the next level.
+"""
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from .context import CompilationContext
+from .language import Language, LanguageError
+from .transformation import (Lowering, Optimization, Transformation,
+                             TransformationError, apply_fixpoint)
+
+
+class StackValidationError(Exception):
+    """The stack violates the expressibility or transformation-cohesion principle."""
+
+
+@dataclass
+class PhaseResult:
+    """Trace entry describing one phase of a compilation run."""
+
+    name: str
+    kind: str                    # "optimization-fixpoint" | "lowering"
+    language: str
+    seconds: float
+    detail: str = ""
+
+
+@dataclass
+class CompilationResult:
+    """The outcome of pushing a program through the stack."""
+
+    program: object
+    language: Language
+    phases: List[PhaseResult] = field(default_factory=list)
+
+    @property
+    def total_seconds(self) -> float:
+        return sum(p.seconds for p in self.phases)
+
+
+class DslStack:
+    """A stack of DSLs with their optimizations and lowerings.
+
+    Args:
+        name: configuration name (``"dblab-5"``, ``"tpch-compliant"``, ...).
+        languages: the languages of this configuration, any order.
+        lowerings: exactly one lowering per adjacent pair on the path from the
+            front end(s) down to the target language.
+        optimizations: any number of per-level optimizations.
+    """
+
+    def __init__(self, name: str, languages: Sequence[Language],
+                 lowerings: Sequence[Lowering],
+                 optimizations: Sequence[Optimization] = ()) -> None:
+        self.name = name
+        self.languages = list(languages)
+        self.lowerings = list(lowerings)
+        self.optimizations = list(optimizations)
+        self._validate()
+
+    # ------------------------------------------------------------------
+    # Principle validation (Section 2.2 / 2.3)
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        known = set(self.languages)
+        for transform in list(self.lowerings) + list(self.optimizations):
+            if transform.source not in known or transform.target not in known:
+                raise StackValidationError(
+                    f"{transform.name}: source/target language not part of stack {self.name!r}")
+
+        for lowering in self.lowerings:
+            # Expressibility principle: lowering must go strictly downwards.
+            if lowering.source.level <= lowering.target.level:
+                raise StackValidationError(
+                    f"lowering {lowering.name!r} does not decrease the abstraction level "
+                    f"({lowering.source.name} -> {lowering.target.name})")
+
+        for optimization in self.optimizations:
+            if optimization.source is not optimization.target:
+                raise StackValidationError(
+                    f"optimization {optimization.name!r} must stay within one language")
+
+        # Transformation cohesion principle: at most one lowering out of each
+        # language towards each other language, and the lowerings reachable
+        # from any language form a single chain (a unique path downwards).
+        by_source: Dict[str, List[Lowering]] = {}
+        for lowering in self.lowerings:
+            by_source.setdefault(lowering.source.name, []).append(lowering)
+        for source_name, outgoing in by_source.items():
+            non_front_end = [low for low in outgoing]
+            if len(non_front_end) > 1:
+                targets = sorted(low.target.name for low in non_front_end)
+                raise StackValidationError(
+                    "transformation cohesion violated: more than one lowering out of "
+                    f"{source_name} (targets: {targets}); split the language instead "
+                    "(Section 2.3 of the paper)")
+
+        # No cycles: since every lowering strictly decreases the level, cycles
+        # are impossible.  What remains to check is that every language of the
+        # configuration can actually reach the target language through its
+        # (unique) chain of lowerings — otherwise the stack has dead levels or
+        # several disconnected targets.
+        if self.lowerings:
+            target = min(self.languages, key=lambda lang: lang.level)
+            for lang in self.languages:
+                if lang is target:
+                    continue
+                path = self._path_from(lang, by_source)
+                if not path or path[-1].target is not target:
+                    raise StackValidationError(
+                        f"stack {self.name!r}: no lowering path from {lang.name} "
+                        f"to the target language {target.name}")
+
+    @staticmethod
+    def _path_from(language: Language, by_source: Dict[str, List[Lowering]]) -> List[Lowering]:
+        path: List[Lowering] = []
+        current = language
+        while current.name in by_source:
+            lowering = by_source[current.name][0]
+            path.append(lowering)
+            current = lowering.target
+        return path
+
+    # ------------------------------------------------------------------
+    # Introspection helpers
+    # ------------------------------------------------------------------
+    @property
+    def target_language(self) -> Language:
+        """The lowest-level language; every other level lowers into it."""
+        return min(self.languages, key=lambda lang: lang.level)
+
+    def lowering_from(self, language: Language) -> Optional[Lowering]:
+        for lowering in self.lowerings:
+            if lowering.source is language:
+                return lowering
+        return None
+
+    def lowering_path(self, source: Language) -> List[Lowering]:
+        """The unique chain of lowerings from ``source`` to the target language."""
+        path: List[Lowering] = []
+        current = source
+        while True:
+            lowering = self.lowering_from(current)
+            if lowering is None:
+                break
+            path.append(lowering)
+            current = lowering.target
+        return path
+
+    def optimizations_for(self, language: Language) -> List[Optimization]:
+        return [opt for opt in self.optimizations if opt.source is language]
+
+    def level_count(self, source: Language) -> int:
+        """Number of distinct languages on the path from ``source`` to the target."""
+        return len(self.lowering_path(source)) + 1
+
+    def describe(self) -> str:
+        lines = [f"DSL stack {self.name!r}"]
+        for lang in sorted(self.languages, key=lambda l: -l.level):
+            opts = [o.name for o in self.optimizations_for(lang)]
+            lowering = self.lowering_from(lang)
+            lines.append(f"  {lang.name} (level {lang.level})")
+            if opts:
+                lines.append(f"    optimizations: {', '.join(opts)}")
+            if lowering is not None:
+                lines.append(f"    lowering: {lowering.name} -> {lowering.target.name}")
+        return "\n".join(lines)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(self, program, source: Language,
+                context: Optional[CompilationContext] = None,
+                validate_levels: bool = True) -> CompilationResult:
+        """Push ``program`` from ``source`` down to the stack's target language.
+
+        At every level the enabled optimizations are applied to a fixed point,
+        then the unique lowering out of that level translates the program one
+        level down.  The per-phase timings collected in the result are the
+        data behind Figure 9 (code generation time).
+        """
+        if source not in self.languages:
+            raise StackValidationError(f"{source.name} is not part of stack {self.name!r}")
+        context = context or CompilationContext()
+        result = CompilationResult(program=program, language=source)
+        current_language = source
+        current_program = program
+
+        while True:
+            optimizations = [opt for opt in self.optimizations_for(current_language)
+                             if opt.applies(context)]
+            if optimizations:
+                start = time.perf_counter()
+                current_program, report = apply_fixpoint(optimizations, current_program, context)
+                result.phases.append(PhaseResult(
+                    name=f"optimize[{current_language.name}]",
+                    kind="optimization-fixpoint",
+                    language=current_language.name,
+                    seconds=time.perf_counter() - start,
+                    detail=f"{report.iterations} iteration(s): {', '.join(sorted(set(report.applied)))}"))
+
+            lowering = self.lowering_from(current_language)
+            if lowering is None:
+                break
+            start = time.perf_counter()
+            current_program = lowering.run(current_program, context)
+            seconds = time.perf_counter() - start
+            result.phases.append(PhaseResult(
+                name=lowering.name, kind="lowering",
+                language=lowering.target.name, seconds=seconds,
+                detail=f"{current_language.name} -> {lowering.target.name}"))
+            current_language = lowering.target
+            if validate_levels and current_language.kind == "anf":
+                try:
+                    current_language.validate(current_program)
+                except LanguageError as exc:
+                    raise StackValidationError(
+                        f"after {lowering.name}, program is not valid {current_language.name}: {exc}"
+                    ) from exc
+
+        result.program = current_program
+        result.language = current_language
+        return result

@@ -1,0 +1,5 @@
+"""The in-memory storage substrate: schema, layouts, statistics, catalog and loader."""
+from .catalog import Catalog
+from .schema import Schema, TableSchema
+
+__all__ = ["Catalog", "Schema", "TableSchema"]

@@ -1,0 +1,88 @@
+"""The catalog: loaded tables, their schema and their statistics.
+
+A :class:`Catalog` is the ``db`` value that both the Volcano interpreter and
+every compiled query receive as input.  Generated code only ever touches it
+through two accessors (``size`` and ``column``), which keeps the unparser
+simple and the access pattern identical across engines.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional
+
+from .layouts import ColumnarTable
+from .schema import Schema, SchemaError, TableSchema
+from .statistics import Statistics, compute_table_statistics
+
+
+class CatalogError(Exception):
+    pass
+
+
+@dataclass
+class Catalog:
+    """A loaded database: schema, columnar tables and statistics."""
+
+    schema: Schema = field(default_factory=Schema)
+    tables: Dict[str, ColumnarTable] = field(default_factory=dict)
+    statistics: Statistics = field(default_factory=Statistics)
+
+    # ------------------------------------------------------------------
+    # Loading
+    # ------------------------------------------------------------------
+    def register(self, table: ColumnarTable) -> None:
+        """Add a loaded table and compute its statistics."""
+        name = table.schema.name
+        if not self.schema.has_table(name):
+            self.schema.add(table.schema)
+        self.tables[name] = table
+        self.statistics.tables[name] = compute_table_statistics(table)
+
+    def register_rows(self, schema: TableSchema, rows: Iterable[Dict[str, Any]]) -> None:
+        self.register(ColumnarTable.from_rows(schema, list(rows)))
+
+    # ------------------------------------------------------------------
+    # Access (used by interpreters and generated code)
+    # ------------------------------------------------------------------
+    def table(self, name: str) -> ColumnarTable:
+        try:
+            return self.tables[name]
+        except KeyError:
+            raise CatalogError(f"table {name!r} is not loaded") from None
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def size(self, name: str) -> int:
+        return self.table(name).num_rows
+
+    def column(self, table: str, column: str) -> List[Any]:
+        return self.table(table).column(column)
+
+    def table_names(self) -> List[str]:
+        return list(self.tables)
+
+    # ------------------------------------------------------------------
+    # Schema helpers used by the optimizer / index inference
+    # ------------------------------------------------------------------
+    def primary_key_of(self, table: str) -> Optional[str]:
+        return self.schema.table(table).single_column_primary_key
+
+    def is_primary_key(self, table: str, column: str) -> bool:
+        return self.schema.table(table).primary_key == (column,)
+
+    def is_foreign_key(self, table: str, column: str) -> bool:
+        return self.schema.table(table).column(column).foreign_key is not None
+
+    def memory_footprint(self) -> int:
+        """Approximate loaded-data size in bytes (used for Figure 8 context)."""
+        import sys
+        total = 0
+        for table in self.tables.values():
+            for values in table.columns.values():
+                total += sys.getsizeof(values)
+                if values and isinstance(values[0], str):
+                    total += sum(len(v) for v in values)
+                else:
+                    total += 8 * len(values)
+        return total

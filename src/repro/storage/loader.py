@@ -1,0 +1,83 @@
+"""Bulk loading of ``.tbl`` files (TPC-H dbgen format) into a catalog.
+
+The dbgen format is one ``|``-separated line per row, with a trailing ``|``.
+Values are parsed according to the column types of the schema; dates become
+``YYYYMMDD`` integers (see :mod:`repro.dates`).
+"""
+from __future__ import annotations
+
+import os
+from typing import Dict, Iterable, List, Optional
+
+from .. import dates
+from ..ir.types import DATE, FLOAT, INT, STRING
+from .catalog import Catalog
+from .layouts import ColumnarTable
+from .schema import Schema, TableSchema
+
+
+class LoaderError(Exception):
+    pass
+
+
+def parse_value(raw: str, column_type):
+    if column_type is INT:
+        return int(raw)
+    if column_type is FLOAT:
+        return float(raw)
+    if column_type is DATE:
+        return dates.date_to_int(raw)
+    if column_type is STRING:
+        return raw
+    raise LoaderError(f"cannot parse values of type {column_type!r}")
+
+
+def load_table_file(schema: TableSchema, path: str) -> ColumnarTable:
+    """Load one ``.tbl`` file into a columnar table."""
+    column_names = schema.column_names()
+    column_types = [schema.column_type(name) for name in column_names]
+    columns: Dict[str, List] = {name: [] for name in column_names}
+    with open(path, "r", encoding="utf-8") as handle:
+        for line_no, line in enumerate(handle, start=1):
+            line = line.rstrip("\n")
+            if not line:
+                continue
+            parts = line.split("|")
+            if parts and parts[-1] == "":
+                parts = parts[:-1]
+            if len(parts) != len(column_names):
+                raise LoaderError(
+                    f"{path}:{line_no}: expected {len(column_names)} fields, got {len(parts)}")
+            for name, ctype, raw in zip(column_names, column_types, parts):
+                columns[name].append(parse_value(raw, ctype))
+    return ColumnarTable(schema, columns)
+
+
+def load_directory(schema: Schema, directory: str,
+                   tables: Optional[Iterable[str]] = None,
+                   extension: str = ".tbl") -> Catalog:
+    """Load every ``<table><extension>`` file found in ``directory``."""
+    catalog = Catalog()
+    names = list(tables) if tables is not None else schema.table_names()
+    for name in names:
+        path = os.path.join(directory, f"{name}{extension}")
+        if not os.path.exists(path):
+            raise LoaderError(f"missing data file for table {name!r}: {path}")
+        catalog.register(load_table_file(schema.table(name), path))
+    return catalog
+
+
+def dump_table_file(table: ColumnarTable, path: str) -> None:
+    """Write a columnar table back out in dbgen ``.tbl`` format."""
+    names = table.schema.column_names()
+    types = [table.schema.column_type(name) for name in names]
+    with open(path, "w", encoding="utf-8") as handle:
+        for i in range(table.num_rows):
+            parts = []
+            for name, ctype in zip(names, types):
+                value = table.columns[name][i]
+                if ctype is DATE:
+                    parts.append(dates.int_to_str(value))
+                else:
+                    parts.append(str(value))
+            handle.write("|".join(parts) + "|\n")

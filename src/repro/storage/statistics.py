@@ -1,0 +1,104 @@
+"""Data statistics used for worst-case size analysis (paper Section D.1).
+
+The memory-allocation hoisting and data-structure initialisation hoisting
+transformations need, at compile time, worst-case estimates of cardinalities
+and key ranges: how large to pre-allocate pools, whether a key column is dense
+enough to be backed by a direct array, how many distinct groups an aggregation
+may produce.  These statistics are gathered once at data-loading time.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional
+
+from ..ir.types import DATE, FLOAT, INT, STRING
+from .layouts import ColumnarTable
+
+
+@dataclass
+class ColumnStatistics:
+    """Statistics of one column."""
+
+    name: str
+    num_rows: int = 0
+    num_distinct: int = 0
+    min_value: Optional[Any] = None
+    max_value: Optional[Any] = None
+
+    @property
+    def value_range(self) -> Optional[int]:
+        """Size of the integer value range [min, max], or ``None`` for non-integers."""
+        if isinstance(self.min_value, int) and isinstance(self.max_value, int):
+            return self.max_value - self.min_value + 1
+        return None
+
+    def is_dense_key(self, slack: float = 4.0) -> bool:
+        """Whether a direct array indexed by value would be reasonably dense.
+
+        The paper trades memory for speed aggressively ("an aggressive system
+        memory trade-off to hold a sparse array"), so a generous slack factor
+        is allowed between the value range and the number of distinct values.
+        """
+        value_range = self.value_range
+        if value_range is None or self.num_distinct == 0 or self.min_value < 0:
+            return False
+        return value_range <= slack * max(self.num_distinct, 1) + 1024
+
+
+@dataclass
+class TableStatistics:
+    """Statistics of one table: cardinality plus per-column summaries."""
+
+    name: str
+    num_rows: int = 0
+    columns: Dict[str, ColumnStatistics] = field(default_factory=dict)
+
+    def column(self, name: str) -> ColumnStatistics:
+        return self.columns[name]
+
+
+@dataclass
+class Statistics:
+    """Statistics for every loaded table of a catalog."""
+
+    tables: Dict[str, TableStatistics] = field(default_factory=dict)
+
+    def table(self, name: str) -> TableStatistics:
+        return self.tables[name]
+
+    def has_table(self, name: str) -> bool:
+        return name in self.tables
+
+    def cardinality(self, table: str) -> int:
+        return self.tables[table].num_rows
+
+    def column(self, table: str, column: str) -> ColumnStatistics:
+        return self.tables[table].columns[column]
+
+    def key_range(self, table: str, column: str) -> Optional[tuple]:
+        stats = self.column(table, column)
+        if stats.min_value is None:
+            return None
+        return (stats.min_value, stats.max_value)
+
+
+def compute_column_statistics(name: str, values) -> ColumnStatistics:
+    stats = ColumnStatistics(name=name, num_rows=len(values))
+    if len(values) == 0:
+        return stats
+    distinct = set(values)
+    stats.num_distinct = len(distinct)
+    try:
+        stats.min_value = min(distinct)
+        stats.max_value = max(distinct)
+    except TypeError:
+        stats.min_value = None
+        stats.max_value = None
+    return stats
+
+
+def compute_table_statistics(table: ColumnarTable) -> TableStatistics:
+    stats = TableStatistics(name=table.name, num_rows=table.num_rows)
+    for column_name, values in table.columns.items():
+        stats.columns[column_name] = compute_column_statistics(column_name, values)
+    return stats

@@ -1,0 +1,5 @@
+"""The TPC-H workload substrate: schema, deterministic data generator and the 22 queries."""
+from .dbgen import generate_catalog
+from .schema import tpch_schema
+
+__all__ = ["generate_catalog", "tpch_schema"]

@@ -1,0 +1,346 @@
+"""Deterministic TPC-H-shaped data generator.
+
+The paper evaluates on TPC-H data produced by the official ``dbgen`` tool,
+which is not available offline.  This generator produces the same eight
+relations with the same key structure (dense primary keys, consistent foreign
+keys), the same column domains (dates in 1992-1998, the official enumerations
+for priorities, ship modes, segments, brands, types and containers) and
+keyword-bearing text columns so that every LIKE / substring predicate of the
+22 queries selects a non-trivial fraction of rows.
+
+Row counts scale linearly with the scale factor exactly as in TPC-H
+(customer = 150k·SF, orders = 1.5M·SF, lineitem ≈ 4·orders, part = 200k·SF,
+partsupp = 4·part, supplier = 10k·SF), so plan shapes and relative operator
+costs mirror the original benchmark even though absolute values differ.
+Generation is fully deterministic for a given ``(scale_factor, seed)``.
+"""
+from __future__ import annotations
+
+import random
+from typing import Dict, List
+
+from .. import dates
+from ..storage.catalog import Catalog
+from ..storage.layouts import ColumnarTable
+from .schema import ALL_TABLES, tpch_schema
+
+# ---------------------------------------------------------------------------
+# Official TPC-H value domains.
+# ---------------------------------------------------------------------------
+REGIONS = ["AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"]
+
+NATIONS = [
+    ("ALGERIA", 0), ("ARGENTINA", 1), ("BRAZIL", 1), ("CANADA", 1), ("EGYPT", 4),
+    ("ETHIOPIA", 0), ("FRANCE", 3), ("GERMANY", 3), ("INDIA", 2), ("INDONESIA", 2),
+    ("IRAN", 4), ("IRAQ", 4), ("JAPAN", 2), ("JORDAN", 4), ("KENYA", 0),
+    ("MOROCCO", 0), ("MOZAMBIQUE", 0), ("PERU", 1), ("CHINA", 2), ("ROMANIA", 3),
+    ("SAUDI ARABIA", 4), ("VIETNAM", 2), ("RUSSIA", 3), ("UNITED KINGDOM", 3),
+    ("UNITED STATES", 1),
+]
+
+SEGMENTS = ["AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"]
+PRIORITIES = ["1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"]
+SHIP_MODES = ["REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"]
+SHIP_INSTRUCTIONS = ["DELIVER IN PERSON", "COLLECT COD", "NONE", "TAKE BACK RETURN"]
+TYPE_SYLLABLE_1 = ["STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"]
+TYPE_SYLLABLE_2 = ["ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"]
+TYPE_SYLLABLE_3 = ["TIN", "NICKEL", "BRASS", "STEEL", "COPPER"]
+CONTAINER_SYLLABLE_1 = ["SM", "LG", "MED", "JUMBO", "WRAP"]
+CONTAINER_SYLLABLE_2 = ["CASE", "BOX", "BAG", "JAR", "PKG", "PACK", "CAN", "DRUM"]
+COLORS = ["almond", "antique", "aquamarine", "azure", "beige", "bisque", "black",
+          "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse",
+          "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan",
+          "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest",
+          "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew",
+          "hot", "hazel", "indian", "ivory", "khaki", "lace", "lavender", "lawn",
+          "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic",
+          "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange",
+          "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder",
+          "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon",
+          "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring",
+          "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white",
+          "yellow"]
+NOUNS = ["packages", "requests", "accounts", "deposits", "foxes", "ideas",
+         "theodolites", "instructions", "dependencies", "excuses", "platelets",
+         "asymptotes", "courts", "dolphins", "multipliers", "sauternes", "warthogs",
+         "frets", "dinos", "attainments", "somas", "pinto beans", "instructions"]
+VERBS = ["sleep", "wake", "are", "cajole", "haggle", "nag", "use", "boost", "affix",
+         "detect", "integrate", "maintain", "nod", "was", "lose", "sublate", "solve",
+         "thrash", "promise", "engage", "hinder", "print", "doze", "run", "dazzle"]
+ADJECTIVES = ["special", "pending", "unusual", "express", "furious", "sly", "careful",
+              "blithe", "quick", "fluffy", "slow", "quiet", "ruthless", "thin", "close",
+              "dogged", "daring", "brave", "stealthy", "permanent", "enticing", "idle",
+              "busy", "regular", "final", "ironic", "even", "bold", "silent"]
+
+START_DATE = dates.date_to_int("1992-01-01")
+END_DATE = dates.date_to_int("1998-08-02")
+_TOTAL_DAYS = 2405   # days between START_DATE and END_DATE
+
+#: TPC-H base cardinalities at scale factor 1.
+BASE_CARDINALITIES = {
+    "supplier": 10_000,
+    "part": 200_000,
+    "customer": 150_000,
+    "orders": 1_500_000,
+    "partsupp_per_part": 4,
+    "lineitems_per_order": (1, 7),
+}
+
+
+class TpchGenerator:
+    """Generates a scaled, deterministic TPC-H-shaped catalog."""
+
+    def __init__(self, scale_factor: float = 0.01, seed: int = 20160626) -> None:
+        if scale_factor <= 0:
+            raise ValueError("scale factor must be positive")
+        self.scale_factor = scale_factor
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def generate(self) -> Catalog:
+        """Generate all eight relations and return a loaded catalog."""
+        catalog = Catalog(schema=tpch_schema())
+        tables = {
+            "region": self._gen_region(),
+            "nation": self._gen_nation(),
+        }
+        tables["supplier"] = self._gen_supplier()
+        tables["part"] = self._gen_part()
+        tables["partsupp"] = self._gen_partsupp(tables["part"], tables["supplier"])
+        tables["customer"] = self._gen_customer()
+        tables["orders"], tables["lineitem"] = self._gen_orders_and_lineitems(
+            tables["customer"], tables["part"], tables["supplier"], tables["partsupp"])
+        for name in ("region", "nation", "supplier", "customer", "part",
+                     "partsupp", "orders", "lineitem"):
+            schema = catalog.schema.table(name)
+            catalog.tables[name] = ColumnarTable(schema, tables[name])
+            from ..storage.statistics import compute_table_statistics
+            catalog.statistics.tables[name] = compute_table_statistics(catalog.tables[name])
+        return catalog
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _count(self, table: str) -> int:
+        return max(1, int(round(BASE_CARDINALITIES[table] * self.scale_factor)))
+
+    def _random_date(self, lo: int = START_DATE, hi_days: int = _TOTAL_DAYS) -> int:
+        return dates.add_days(lo, self._rng.randrange(0, hi_days + 1))
+
+    def _text(self, min_words: int = 4, max_words: int = 10,
+              inject: str = "", inject_probability: float = 0.0) -> str:
+        rng = self._rng
+        words = []
+        for _ in range(rng.randint(min_words, max_words)):
+            words.append(rng.choice([rng.choice(ADJECTIVES), rng.choice(NOUNS), rng.choice(VERBS)]))
+        text = " ".join(words)
+        if inject and rng.random() < inject_probability:
+            position = rng.randint(0, len(words))
+            words.insert(position, inject)
+            text = " ".join(words)
+        return text
+
+    def _phone(self, nation_key: int) -> str:
+        rng = self._rng
+        country = 10 + nation_key
+        return f"{country}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+
+    # ------------------------------------------------------------------
+    # Table generators
+    # ------------------------------------------------------------------
+    def _gen_region(self) -> Dict[str, List]:
+        return {
+            "r_regionkey": list(range(len(REGIONS))),
+            "r_name": list(REGIONS),
+            "r_comment": [self._text() for _ in REGIONS],
+        }
+
+    def _gen_nation(self) -> Dict[str, List]:
+        return {
+            "n_nationkey": list(range(len(NATIONS))),
+            "n_name": [name for name, _ in NATIONS],
+            "n_regionkey": [region for _, region in NATIONS],
+            "n_comment": [self._text() for _ in NATIONS],
+        }
+
+    def _gen_supplier(self) -> Dict[str, List]:
+        rng = self._rng
+        n = self._count("supplier")
+        columns: Dict[str, List] = {name: [] for name in
+                                    ("s_suppkey", "s_name", "s_address", "s_nationkey",
+                                     "s_phone", "s_acctbal", "s_comment")}
+        for key in range(1, n + 1):
+            nation = rng.randrange(len(NATIONS))
+            columns["s_suppkey"].append(key)
+            columns["s_name"].append(f"Supplier#{key:09d}")
+            columns["s_address"].append(self._text(2, 4))
+            columns["s_nationkey"].append(nation)
+            columns["s_phone"].append(self._phone(nation))
+            columns["s_acctbal"].append(round(rng.uniform(-999.99, 9999.99), 2))
+            # ~8% of suppliers carry the "Customer ... Complaints" marker used by Q16.
+            comment = self._text(5, 10)
+            if rng.random() < 0.08:
+                comment = comment + " Customer " + rng.choice(ADJECTIVES) + " Complaints"
+            columns["s_comment"].append(comment)
+        return columns
+
+    def _gen_part(self) -> Dict[str, List]:
+        rng = self._rng
+        n = self._count("part")
+        columns: Dict[str, List] = {name: [] for name in
+                                    ("p_partkey", "p_name", "p_mfgr", "p_brand", "p_type",
+                                     "p_size", "p_container", "p_retailprice", "p_comment")}
+        for key in range(1, n + 1):
+            manufacturer = rng.randint(1, 5)
+            brand = manufacturer * 10 + rng.randint(1, 5)
+            name = " ".join(rng.sample(COLORS, 5))
+            columns["p_partkey"].append(key)
+            columns["p_name"].append(name)
+            columns["p_mfgr"].append(f"Manufacturer#{manufacturer}")
+            columns["p_brand"].append(f"Brand#{brand}")
+            columns["p_type"].append(" ".join([rng.choice(TYPE_SYLLABLE_1),
+                                               rng.choice(TYPE_SYLLABLE_2),
+                                               rng.choice(TYPE_SYLLABLE_3)]))
+            columns["p_size"].append(rng.randint(1, 50))
+            columns["p_container"].append(" ".join([rng.choice(CONTAINER_SYLLABLE_1),
+                                                    rng.choice(CONTAINER_SYLLABLE_2)]))
+            columns["p_retailprice"].append(
+                round(90000 + ((key // 10) % 20001) + 100 * (key % 1000), 2) / 100.0)
+            columns["p_comment"].append(self._text(2, 5))
+        return columns
+
+    def _gen_partsupp(self, part: Dict[str, List], supplier: Dict[str, List]) -> Dict[str, List]:
+        rng = self._rng
+        n_supp = len(supplier["s_suppkey"])
+        per_part = BASE_CARDINALITIES["partsupp_per_part"]
+        columns: Dict[str, List] = {name: [] for name in
+                                    ("ps_partkey", "ps_suppkey", "ps_availqty",
+                                     "ps_supplycost", "ps_comment")}
+        for partkey in part["p_partkey"]:
+            suppliers = rng.sample(range(1, n_supp + 1), min(per_part, n_supp))
+            for suppkey in suppliers:
+                columns["ps_partkey"].append(partkey)
+                columns["ps_suppkey"].append(suppkey)
+                columns["ps_availqty"].append(rng.randint(1, 9999))
+                columns["ps_supplycost"].append(round(rng.uniform(1.0, 1000.0), 2))
+                columns["ps_comment"].append(self._text(5, 12))
+        return columns
+
+    def _gen_customer(self) -> Dict[str, List]:
+        rng = self._rng
+        n = self._count("customer")
+        columns: Dict[str, List] = {name: [] for name in
+                                    ("c_custkey", "c_name", "c_address", "c_nationkey",
+                                     "c_phone", "c_acctbal", "c_mktsegment", "c_comment")}
+        for key in range(1, n + 1):
+            nation = rng.randrange(len(NATIONS))
+            columns["c_custkey"].append(key)
+            columns["c_name"].append(f"Customer#{key:09d}")
+            columns["c_address"].append(self._text(2, 4))
+            columns["c_nationkey"].append(nation)
+            columns["c_phone"].append(self._phone(nation))
+            columns["c_acctbal"].append(round(rng.uniform(-999.99, 9999.99), 2))
+            columns["c_mktsegment"].append(rng.choice(SEGMENTS))
+            # ~10% of customer-facing order comments carry "special ... requests" (Q13);
+            # customer comments themselves just need plausible text.
+            columns["c_comment"].append(self._text(6, 12))
+        return columns
+
+    def _gen_orders_and_lineitems(self, customer, part, supplier, partsupp):
+        rng = self._rng
+        n_orders = self._count("orders")
+        n_customers = len(customer["c_custkey"])
+        n_parts = len(part["p_partkey"])
+        n_suppliers = len(supplier["s_suppkey"])
+        retail_price = part["p_retailprice"]
+
+        orders: Dict[str, List] = {name: [] for name in
+                                   ("o_orderkey", "o_custkey", "o_orderstatus", "o_totalprice",
+                                    "o_orderdate", "o_orderpriority", "o_clerk",
+                                    "o_shippriority", "o_comment")}
+        lineitem: Dict[str, List] = {name: [] for name in
+                                     ("l_orderkey", "l_partkey", "l_suppkey", "l_linenumber",
+                                      "l_quantity", "l_extendedprice", "l_discount", "l_tax",
+                                      "l_returnflag", "l_linestatus", "l_shipdate",
+                                      "l_commitdate", "l_receiptdate", "l_shipinstruct",
+                                      "l_shipmode", "l_comment")}
+        lo_lines, hi_lines = BASE_CARDINALITIES["lineitems_per_order"]
+        cutoff = dates.date_to_int("1995-06-17")
+
+        for orderkey in range(1, n_orders + 1):
+            # As in official dbgen, one third of the customers never place an
+            # order (keys divisible by three), which keeps Q13/Q22 meaningful.
+            custkey = rng.randint(1, n_customers)
+            while custkey % 3 == 0:
+                custkey = rng.randint(1, n_customers)
+            # order dates leave room for shipping within the 1992-1998 window
+            orderdate = self._random_date(START_DATE, _TOTAL_DAYS - 151)
+            n_lines = rng.randint(lo_lines, hi_lines)
+            total_price = 0.0
+            all_filled = True
+            any_open = False
+            for line_number in range(1, n_lines + 1):
+                partkey = rng.randint(1, n_parts)
+                suppkey = rng.randint(1, n_suppliers)
+                quantity = float(rng.randint(1, 50))
+                extended = round(quantity * retail_price[partkey - 1], 2)
+                discount = rng.randint(0, 10) / 100.0
+                tax = rng.randint(0, 8) / 100.0
+                shipdate = dates.add_days(orderdate, rng.randint(1, 121))
+                commitdate = dates.add_days(orderdate, rng.randint(30, 90))
+                receiptdate = dates.add_days(shipdate, rng.randint(1, 30))
+                if receiptdate > cutoff:
+                    returnflag = "N"
+                else:
+                    returnflag = rng.choice(["R", "A"])
+                if shipdate > cutoff:
+                    linestatus = "O"
+                    any_open = True
+                else:
+                    linestatus = "F"
+                    all_filled = all_filled and True
+                if linestatus == "O":
+                    all_filled = False
+                total_price += round(extended * (1 + tax) * (1 - discount), 2)
+                lineitem["l_orderkey"].append(orderkey)
+                lineitem["l_partkey"].append(partkey)
+                lineitem["l_suppkey"].append(suppkey)
+                lineitem["l_linenumber"].append(line_number)
+                lineitem["l_quantity"].append(quantity)
+                lineitem["l_extendedprice"].append(extended)
+                lineitem["l_discount"].append(discount)
+                lineitem["l_tax"].append(tax)
+                lineitem["l_returnflag"].append(returnflag)
+                lineitem["l_linestatus"].append(linestatus)
+                lineitem["l_shipdate"].append(shipdate)
+                lineitem["l_commitdate"].append(commitdate)
+                lineitem["l_receiptdate"].append(receiptdate)
+                lineitem["l_shipinstruct"].append(rng.choice(SHIP_INSTRUCTIONS))
+                lineitem["l_shipmode"].append(rng.choice(SHIP_MODES))
+                lineitem["l_comment"].append(self._text(3, 6))
+
+            if all_filled and not any_open:
+                status = "F"
+            elif any_open and not all_filled:
+                status = "O" if rng.random() < 0.7 else "P"
+            else:
+                status = "P"
+            orders["o_orderkey"].append(orderkey)
+            orders["o_custkey"].append(custkey)
+            orders["o_orderstatus"].append(status)
+            orders["o_totalprice"].append(round(total_price, 2))
+            orders["o_orderdate"].append(orderdate)
+            orders["o_orderpriority"].append(rng.choice(PRIORITIES))
+            orders["o_clerk"].append(f"Clerk#{rng.randint(1, max(2, n_orders // 1000)):09d}")
+            orders["o_shippriority"].append(0)
+            orders["o_comment"].append(
+                self._text(5, 10, inject="special packages requests", inject_probability=0.05))
+        return orders, lineitem
+
+
+def generate_catalog(scale_factor: float = 0.01, seed: int = 20160626) -> Catalog:
+    """Convenience wrapper: ``TpchGenerator(scale_factor, seed).generate()``."""
+    return TpchGenerator(scale_factor, seed).generate()

@@ -1,0 +1,142 @@
+"""TPC-H queries 1-6 as QPlan physical plans.
+
+Each query is a function returning an operator tree, written against the
+validated substitution parameters of the TPC-H specification (the same
+constants the paper's evaluation uses).  Correlated subqueries are
+decorrelated by hand into joins against aggregated subplans, exactly as the
+LegoBase/DBLAB query plans do.
+"""
+from __future__ import annotations
+
+from ... import dates
+from ...dsl.expr import and_all, case, col, date, like, lit
+from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, NestedLoopJoin, Project, Scan, \
+    Select, Sort
+
+
+def q1():
+    """Pricing summary report: big scan + group by (returnflag, linestatus)."""
+    lineitem = Select(Scan("lineitem"), col("l_shipdate") <= date("1998-09-02"))
+    disc_price = col("l_extendedprice") * (1 - col("l_discount"))
+    charge = disc_price * (1 + col("l_tax"))
+    grouped = Agg(
+        lineitem,
+        group_keys=[("l_returnflag", col("l_returnflag")),
+                    ("l_linestatus", col("l_linestatus"))],
+        aggregates=[
+            AggSpec("sum", col("l_quantity"), "sum_qty"),
+            AggSpec("sum", col("l_extendedprice"), "sum_base_price"),
+            AggSpec("sum", disc_price, "sum_disc_price"),
+            AggSpec("sum", charge, "sum_charge"),
+            AggSpec("avg", col("l_quantity"), "avg_qty"),
+            AggSpec("avg", col("l_extendedprice"), "avg_price"),
+            AggSpec("avg", col("l_discount"), "avg_disc"),
+            AggSpec("count", None, "count_order"),
+        ])
+    return Sort(grouped, [(col("l_returnflag"), "asc"), (col("l_linestatus"), "asc")])
+
+
+def q2():
+    """Minimum-cost supplier: decorrelated min(ps_supplycost) per part in EUROPE."""
+    def europe_supply(prefix_projection):
+        joined = HashJoin(
+            HashJoin(
+                HashJoin(Scan("supplier"), Scan("nation"),
+                         col("s_nationkey"), col("n_nationkey")),
+                Select(Scan("region"), col("r_name") == "EUROPE"),
+                col("n_regionkey"), col("r_regionkey")),
+            Scan("partsupp"),
+            col("s_suppkey"), col("ps_suppkey"))
+        return joined
+
+    min_cost = Agg(
+        europe_supply(None),
+        group_keys=[("mc_partkey", col("ps_partkey"))],
+        aggregates=[AggSpec("min", col("ps_supplycost"), "min_supplycost")])
+
+    part = Select(Scan("part"),
+                  (col("p_size") == 15) & like(col("p_type"), "%BRASS"))
+    main = HashJoin(part, europe_supply(None), col("p_partkey"), col("ps_partkey"))
+    with_min = HashJoin(main, min_cost, col("p_partkey"), col("mc_partkey"))
+    best = Select(with_min, col("ps_supplycost") == col("min_supplycost"))
+    projected = Project(best, [
+        ("s_acctbal", col("s_acctbal")), ("s_name", col("s_name")),
+        ("n_name", col("n_name")), ("p_partkey", col("p_partkey")),
+        ("p_mfgr", col("p_mfgr")), ("s_address", col("s_address")),
+        ("s_phone", col("s_phone")), ("s_comment", col("s_comment")),
+    ])
+    ordered = Sort(projected, [(col("s_acctbal"), "desc"), (col("n_name"), "asc"),
+                               (col("s_name"), "asc"), (col("p_partkey"), "asc")])
+    return Limit(ordered, 100)
+
+
+def q3():
+    """Shipping priority: BUILDING customers, pre-1995-03-15 orders, late shipments."""
+    customer = Select(Scan("customer"), col("c_mktsegment") == "BUILDING")
+    orders = Select(Scan("orders"), col("o_orderdate") < date("1995-03-15"))
+    lineitem = Select(Scan("lineitem"), col("l_shipdate") > date("1995-03-15"))
+    joined = HashJoin(
+        HashJoin(customer, orders, col("c_custkey"), col("o_custkey")),
+        lineitem, col("o_orderkey"), col("l_orderkey"))
+    grouped = Agg(
+        joined,
+        group_keys=[("l_orderkey", col("l_orderkey")),
+                    ("o_orderdate", col("o_orderdate")),
+                    ("o_shippriority", col("o_shippriority"))],
+        aggregates=[AggSpec("sum", col("l_extendedprice") * (1 - col("l_discount")),
+                            "revenue")])
+    ordered = Sort(grouped, [(col("revenue"), "desc"), (col("o_orderdate"), "asc")])
+    return Limit(ordered, 10)
+
+
+def q4():
+    """Order priority checking: EXISTS(lineitem received late) as a semi join."""
+    orders = Select(Scan("orders"),
+                    (col("o_orderdate") >= date("1993-07-01"))
+                    & (col("o_orderdate") < date("1993-10-01")))
+    late = Select(Scan("lineitem"), col("l_commitdate") < col("l_receiptdate"))
+    with_late = HashJoin(orders, late, col("o_orderkey"), col("l_orderkey"),
+                         kind="leftsemi")
+    grouped = Agg(with_late,
+                  group_keys=[("o_orderpriority", col("o_orderpriority"))],
+                  aggregates=[AggSpec("count", None, "order_count")])
+    return Sort(grouped, [(col("o_orderpriority"), "asc")])
+
+
+def q5():
+    """Local supplier volume in ASIA during 1994."""
+    orders = Select(Scan("orders"),
+                    (col("o_orderdate") >= date("1994-01-01"))
+                    & (col("o_orderdate") < date("1995-01-01")))
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(
+                HashJoin(Scan("customer"), orders, col("c_custkey"), col("o_custkey")),
+                Scan("lineitem"), col("o_orderkey"), col("l_orderkey")),
+            Scan("supplier"), col("l_suppkey"), col("s_suppkey"),
+            residual=col("c_nationkey") == col("s_nationkey")),
+        HashJoin(Scan("nation"),
+                 Select(Scan("region"), col("r_name") == "ASIA"),
+                 col("n_regionkey"), col("r_regionkey")),
+        col("s_nationkey"), col("n_nationkey"))
+    grouped = Agg(joined,
+                  group_keys=[("n_name", col("n_name"))],
+                  aggregates=[AggSpec("sum",
+                                      col("l_extendedprice") * (1 - col("l_discount")),
+                                      "revenue")])
+    return Sort(grouped, [(col("revenue"), "desc")])
+
+
+def q6():
+    """Forecasting revenue change: a single selective scan with a global sum."""
+    lineitem = Select(
+        Scan("lineitem"),
+        and_all([
+            col("l_shipdate") >= date("1994-01-01"),
+            col("l_shipdate") < date("1995-01-01"),
+            col("l_discount") >= 0.05,
+            col("l_discount") <= 0.07,
+            col("l_quantity") < 24.0,
+        ]))
+    return Agg(lineitem, [], [AggSpec("sum", col("l_extendedprice") * col("l_discount"),
+                                      "revenue")])

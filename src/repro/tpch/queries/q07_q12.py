@@ -1,0 +1,162 @@
+"""TPC-H queries 7-12 as QPlan physical plans."""
+from __future__ import annotations
+
+from ...dsl.expr import Col, and_all, case, col, date, in_list, like, lit, year
+from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, Project, Scan, Select, Sort
+
+
+def q7():
+    """Volume shipping between FRANCE and GERMANY, by nation pair and year."""
+    supplier_nation = Project(Scan("nation"),
+                              [("supp_nation", col("n_name")),
+                               ("supp_nationkey", col("n_nationkey"))])
+    customer_nation = Project(Scan("nation"),
+                              [("cust_nation", col("n_name")),
+                               ("cust_nationkey", col("n_nationkey"))])
+    lineitem = Select(Scan("lineitem"),
+                      (col("l_shipdate") >= date("1995-01-01"))
+                      & (col("l_shipdate") <= date("1996-12-31")))
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(
+                HashJoin(Scan("supplier"), lineitem, col("s_suppkey"), col("l_suppkey")),
+                Scan("orders"), col("l_orderkey"), col("o_orderkey")),
+            Scan("customer"), col("o_custkey"), col("c_custkey")),
+        supplier_nation, col("s_nationkey"), col("supp_nationkey"))
+    joined = HashJoin(joined, customer_nation, col("c_nationkey"), col("cust_nationkey"))
+    pair_filter = Select(
+        joined,
+        ((col("supp_nation") == "FRANCE") & (col("cust_nation") == "GERMANY"))
+        | ((col("supp_nation") == "GERMANY") & (col("cust_nation") == "FRANCE")))
+    grouped = Agg(
+        pair_filter,
+        group_keys=[("supp_nation", col("supp_nation")),
+                    ("cust_nation", col("cust_nation")),
+                    ("l_year", year(col("l_shipdate")))],
+        aggregates=[AggSpec("sum", col("l_extendedprice") * (1 - col("l_discount")),
+                            "revenue")])
+    return Sort(grouped, [(col("supp_nation"), "asc"), (col("cust_nation"), "asc"),
+                          (col("l_year"), "asc")])
+
+
+def q8():
+    """National market share of BRAZIL for ECONOMY ANODIZED STEEL in AMERICA."""
+    part = Select(Scan("part"), col("p_type") == "ECONOMY ANODIZED STEEL")
+    orders = Select(Scan("orders"),
+                    (col("o_orderdate") >= date("1995-01-01"))
+                    & (col("o_orderdate") <= date("1996-12-31")))
+    customer_nation = Project(Scan("nation"),
+                              [("cust_nationkey", col("n_nationkey")),
+                               ("cust_regionkey", col("n_regionkey"))])
+    supplier_nation = Project(Scan("nation"),
+                              [("supp_nation", col("n_name")),
+                               ("supp_nationkey", col("n_nationkey"))])
+    joined = HashJoin(
+        HashJoin(part, Scan("lineitem"), col("p_partkey"), col("l_partkey")),
+        orders, col("l_orderkey"), col("o_orderkey"))
+    joined = HashJoin(joined, Scan("customer"), col("o_custkey"), col("c_custkey"))
+    joined = HashJoin(joined, customer_nation, col("c_nationkey"), col("cust_nationkey"))
+    joined = HashJoin(joined,
+                      Select(Scan("region"), col("r_name") == "AMERICA"),
+                      col("cust_regionkey"), col("r_regionkey"))
+    joined = HashJoin(joined, Scan("supplier"), col("l_suppkey"), col("s_suppkey"))
+    joined = HashJoin(joined, supplier_nation, col("s_nationkey"), col("supp_nationkey"))
+    volume = col("l_extendedprice") * (1 - col("l_discount"))
+    brazil_volume = case([(col("supp_nation") == "BRAZIL", volume)], lit(0.0))
+    grouped = Agg(joined,
+                  group_keys=[("o_year", year(col("o_orderdate")))],
+                  aggregates=[AggSpec("sum", brazil_volume, "brazil_volume"),
+                              AggSpec("sum", volume, "total_volume")])
+    shares = Project(grouped, [
+        ("o_year", col("o_year")),
+        ("mkt_share", col("brazil_volume") / col("total_volume")),
+    ])
+    return Sort(shares, [(col("o_year"), "asc")])
+
+
+def q9():
+    """Product type profit measure for parts containing 'green', by nation and year."""
+    part = Select(Scan("part"), like(col("p_name"), "%green%"))
+    joined = HashJoin(part, Scan("lineitem"), col("p_partkey"), col("l_partkey"))
+    joined = HashJoin(joined, Scan("partsupp"), col("l_partkey"), col("ps_partkey"),
+                      residual=col("l_suppkey") == col("ps_suppkey"))
+    joined = HashJoin(joined, Scan("supplier"), col("l_suppkey"), col("s_suppkey"))
+    joined = HashJoin(joined, Scan("orders"), col("l_orderkey"), col("o_orderkey"))
+    joined = HashJoin(joined, Scan("nation"), col("s_nationkey"), col("n_nationkey"))
+    profit = (col("l_extendedprice") * (1 - col("l_discount"))
+              - col("ps_supplycost") * col("l_quantity"))
+    grouped = Agg(joined,
+                  group_keys=[("nation", col("n_name")),
+                              ("o_year", year(col("o_orderdate")))],
+                  aggregates=[AggSpec("sum", profit, "sum_profit")])
+    return Sort(grouped, [(col("nation"), "asc"), (col("o_year"), "desc")])
+
+
+def q10():
+    """Returned item reporting: top 20 customers by lost revenue in 1993Q4."""
+    orders = Select(Scan("orders"),
+                    (col("o_orderdate") >= date("1993-10-01"))
+                    & (col("o_orderdate") < date("1994-01-01")))
+    returned = Select(Scan("lineitem"), col("l_returnflag") == "R")
+    joined = HashJoin(
+        HashJoin(
+            HashJoin(Scan("customer"), orders, col("c_custkey"), col("o_custkey")),
+            returned, col("o_orderkey"), col("l_orderkey")),
+        Scan("nation"), col("c_nationkey"), col("n_nationkey"))
+    grouped = Agg(
+        joined,
+        group_keys=[("c_custkey", col("c_custkey")), ("c_name", col("c_name")),
+                    ("c_acctbal", col("c_acctbal")), ("c_phone", col("c_phone")),
+                    ("n_name", col("n_name")), ("c_address", col("c_address")),
+                    ("c_comment", col("c_comment"))],
+        aggregates=[AggSpec("sum", col("l_extendedprice") * (1 - col("l_discount")),
+                            "revenue")])
+    ordered = Sort(grouped, [(col("revenue"), "desc")])
+    return Limit(ordered, 20)
+
+
+def q11():
+    """Important stock identification in GERMANY (HAVING over a scalar subquery)."""
+    def german_partsupp():
+        return HashJoin(
+            HashJoin(Scan("partsupp"), Scan("supplier"),
+                     col("ps_suppkey"), col("s_suppkey")),
+            Select(Scan("nation"), col("n_name") == "GERMANY"),
+            col("s_nationkey"), col("n_nationkey"))
+
+    value = col("ps_supplycost") * col("ps_availqty")
+    per_part = Agg(german_partsupp(),
+                   group_keys=[("ps_partkey", col("ps_partkey"))],
+                   aggregates=[AggSpec("sum", value, "value")])
+    total = Agg(german_partsupp(), [],
+                [AggSpec("sum", value, "total_value")])
+    threshold = Project(total, [("threshold", col("total_value") * 0.0001)])
+    filtered = Select(
+        HashJoin(per_part, threshold, lit(0), lit(0)),
+        col("value") > col("threshold"))
+    projected = Project(filtered, [("ps_partkey", col("ps_partkey")),
+                                   ("value", col("value"))])
+    return Sort(projected, [(col("value"), "desc")])
+
+
+def q12():
+    """Shipping modes and order priority for MAIL/SHIP lines received in 1994."""
+    lineitem = Select(
+        Scan("lineitem"),
+        and_all([
+            in_list(col("l_shipmode"), ["MAIL", "SHIP"]),
+            col("l_commitdate") < col("l_receiptdate"),
+            col("l_shipdate") < col("l_commitdate"),
+            col("l_receiptdate") >= date("1994-01-01"),
+            col("l_receiptdate") < date("1995-01-01"),
+        ]))
+    joined = HashJoin(Scan("orders"), lineitem, col("o_orderkey"), col("l_orderkey"))
+    is_high = in_list(col("o_orderpriority"), ["1-URGENT", "2-HIGH"])
+    grouped = Agg(
+        joined,
+        group_keys=[("l_shipmode", col("l_shipmode"))],
+        aggregates=[
+            AggSpec("sum", case([(is_high, lit(1))], lit(0)), "high_line_count"),
+            AggSpec("sum", case([(is_high, lit(0))], lit(1)), "low_line_count"),
+        ])
+    return Sort(grouped, [(col("l_shipmode"), "asc")])

@@ -1,0 +1,113 @@
+"""TPC-H queries 13-18 as QPlan physical plans."""
+from __future__ import annotations
+
+from ...dsl.expr import and_all, case, col, date, in_list, like, lit
+from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, NestedLoopJoin, Project, Scan, \
+    Select, Sort
+
+
+def q13():
+    """Customer distribution: orders-per-customer histogram via a left outer join."""
+    orders = Select(Scan("orders"),
+                    ~like(col("o_comment"), "%special%requests%"))
+    joined = HashJoin(Scan("customer"), orders, col("c_custkey"), col("o_custkey"),
+                      kind="leftouter")
+    per_customer = Agg(joined,
+                       group_keys=[("c_custkey", col("c_custkey"))],
+                       aggregates=[AggSpec("count", col("o_orderkey"), "c_count")])
+    histogram = Agg(per_customer,
+                    group_keys=[("c_count", col("c_count"))],
+                    aggregates=[AggSpec("count", None, "custdist")])
+    return Sort(histogram, [(col("custdist"), "desc"), (col("c_count"), "desc")])
+
+
+def q14():
+    """Promotion effect: share of PROMO revenue in September 1995."""
+    lineitem = Select(Scan("lineitem"),
+                      (col("l_shipdate") >= date("1995-09-01"))
+                      & (col("l_shipdate") < date("1995-10-01")))
+    joined = HashJoin(Scan("part"), lineitem, col("p_partkey"), col("l_partkey"))
+    revenue = col("l_extendedprice") * (1 - col("l_discount"))
+    promo_revenue = case([(like(col("p_type"), "PROMO%"), revenue)], lit(0.0))
+    totals = Agg(joined, [], [AggSpec("sum", promo_revenue, "promo"),
+                              AggSpec("sum", revenue, "total")])
+    return Project(totals, [("promo_revenue", lit(100.0) * col("promo") / col("total"))])
+
+
+def q15():
+    """Top supplier: revenue view plus a max() scalar subquery."""
+    shipped = Select(Scan("lineitem"),
+                     (col("l_shipdate") >= date("1996-01-01"))
+                     & (col("l_shipdate") < date("1996-04-01")))
+    revenue = Agg(shipped,
+                  group_keys=[("supplier_no", col("l_suppkey"))],
+                  aggregates=[AggSpec("sum",
+                                      col("l_extendedprice") * (1 - col("l_discount")),
+                                      "total_revenue")])
+    top = Agg(revenue, [], [AggSpec("max", col("total_revenue"), "max_revenue")])
+    joined = HashJoin(Scan("supplier"), revenue, col("s_suppkey"), col("supplier_no"))
+    with_max = HashJoin(joined, top, lit(0), lit(0))
+    best = Select(with_max, col("total_revenue") == col("max_revenue"))
+    projected = Project(best, [
+        ("s_suppkey", col("s_suppkey")), ("s_name", col("s_name")),
+        ("s_address", col("s_address")), ("s_phone", col("s_phone")),
+        ("total_revenue", col("total_revenue")),
+    ])
+    return Sort(projected, [(col("s_suppkey"), "asc")])
+
+
+def q16():
+    """Parts/supplier relationship: anti join against complained-about suppliers."""
+    part = Select(Scan("part"),
+                  and_all([
+                      col("p_brand") != "Brand#45",
+                      ~like(col("p_type"), "MEDIUM POLISHED%"),
+                      in_list(col("p_size"), [49, 14, 23, 45, 19, 3, 36, 9]),
+                  ]))
+    joined = HashJoin(part, Scan("partsupp"), col("p_partkey"), col("ps_partkey"))
+    complainers = Select(Scan("supplier"),
+                         like(col("s_comment"), "%Customer%Complaints%"))
+    clean = HashJoin(joined, complainers, col("ps_suppkey"), col("s_suppkey"),
+                     kind="leftanti")
+    grouped = Agg(clean,
+                  group_keys=[("p_brand", col("p_brand")), ("p_type", col("p_type")),
+                              ("p_size", col("p_size"))],
+                  aggregates=[AggSpec("count_distinct", col("ps_suppkey"),
+                                      "supplier_cnt")])
+    return Sort(grouped, [(col("supplier_cnt"), "desc"), (col("p_brand"), "asc"),
+                          (col("p_type"), "asc"), (col("p_size"), "asc")])
+
+
+def q17():
+    """Small-quantity-order revenue: average quantity per part as a decorrelated join."""
+    part = Select(Scan("part"),
+                  (col("p_brand") == "Brand#23") & (col("p_container") == "MED BOX"))
+    joined = HashJoin(part, Scan("lineitem"), col("p_partkey"), col("l_partkey"))
+    avg_qty = Agg(Scan("lineitem"),
+                  group_keys=[("agg_partkey", col("l_partkey"))],
+                  aggregates=[AggSpec("avg", col("l_quantity"), "avg_quantity")])
+    with_avg = HashJoin(joined, avg_qty, col("l_partkey"), col("agg_partkey"))
+    small = Select(with_avg, col("l_quantity") < lit(0.2) * col("avg_quantity"))
+    total = Agg(small, [], [AggSpec("sum", col("l_extendedprice"), "total_price")])
+    return Project(total, [("avg_yearly", col("total_price") / 7.0)])
+
+
+def q18():
+    """Large volume customers: orders whose line quantities sum above 300."""
+    big_orders = Agg(Scan("lineitem"),
+                     group_keys=[("agg_orderkey", col("l_orderkey"))],
+                     aggregates=[AggSpec("sum", col("l_quantity"), "sum_qty")],
+                     having=col("sum_qty") > 300.0)
+    orders = HashJoin(Scan("orders"), big_orders, col("o_orderkey"), col("agg_orderkey"),
+                      kind="leftsemi")
+    joined = HashJoin(
+        HashJoin(Scan("customer"), orders, col("c_custkey"), col("o_custkey")),
+        Scan("lineitem"), col("o_orderkey"), col("l_orderkey"))
+    grouped = Agg(
+        joined,
+        group_keys=[("c_name", col("c_name")), ("c_custkey", col("c_custkey")),
+                    ("o_orderkey", col("o_orderkey")), ("o_orderdate", col("o_orderdate")),
+                    ("o_totalprice", col("o_totalprice"))],
+        aggregates=[AggSpec("sum", col("l_quantity"), "sum_quantity")])
+    ordered = Sort(grouped, [(col("o_totalprice"), "desc"), (col("o_orderdate"), "asc")])
+    return Limit(ordered, 100)

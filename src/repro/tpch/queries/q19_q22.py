@@ -1,0 +1,102 @@
+"""TPC-H queries 19-22 as QPlan physical plans."""
+from __future__ import annotations
+
+from ...dsl.expr import Col, and_all, col, date, in_list, like, lit, substr
+from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, Project, Scan, Select, Sort
+
+
+def q19():
+    """Discounted revenue: disjunction of brand/container/quantity conditions."""
+    lineitem = Select(Scan("lineitem"),
+                      in_list(col("l_shipmode"), ["AIR", "AIR REG"])
+                      & (col("l_shipinstruct") == "DELIVER IN PERSON"))
+    joined = HashJoin(Scan("part"), lineitem, col("p_partkey"), col("l_partkey"))
+
+    def branch(brand, containers, qty_lo, qty_hi, size_hi):
+        return and_all([
+            col("p_brand") == brand,
+            in_list(col("p_container"), containers),
+            col("l_quantity") >= float(qty_lo),
+            col("l_quantity") <= float(qty_hi),
+            col("p_size") >= 1,
+            col("p_size") <= size_hi,
+        ])
+
+    predicate = (branch("Brand#12", ["SM CASE", "SM BOX", "SM PACK", "SM PKG"], 1, 11, 5)
+                 | branch("Brand#23", ["MED BAG", "MED BOX", "MED PKG", "MED PACK"], 10, 20, 10)
+                 | branch("Brand#34", ["LG CASE", "LG BOX", "LG PACK", "LG PKG"], 20, 30, 15))
+    filtered = Select(joined, predicate)
+    return Agg(filtered, [],
+               [AggSpec("sum", col("l_extendedprice") * (1 - col("l_discount")),
+                        "revenue")])
+
+
+def q20():
+    """Potential part promotion: CANADA suppliers with excess 'forest' part stock."""
+    shipped_1994 = Select(Scan("lineitem"),
+                          (col("l_shipdate") >= date("1994-01-01"))
+                          & (col("l_shipdate") < date("1995-01-01")))
+    shipped_qty = Agg(shipped_1994,
+                      group_keys=[("q_partkey", col("l_partkey")),
+                                  ("q_suppkey", col("l_suppkey"))],
+                      aggregates=[AggSpec("sum", col("l_quantity"), "sum_qty")])
+    forest_parts = Select(Scan("part"), like(col("p_name"), "forest%"))
+    forest_partsupp = HashJoin(Scan("partsupp"), forest_parts,
+                               col("ps_partkey"), col("p_partkey"), kind="leftsemi")
+    with_qty = HashJoin(forest_partsupp, shipped_qty,
+                        col("ps_partkey"), col("q_partkey"),
+                        residual=col("ps_suppkey") == col("q_suppkey"))
+    excess = Select(with_qty, col("ps_availqty") > lit(0.5) * col("sum_qty"))
+    suppliers = HashJoin(Scan("supplier"), excess, col("s_suppkey"), col("ps_suppkey"),
+                         kind="leftsemi")
+    canadian = HashJoin(suppliers,
+                        Select(Scan("nation"), col("n_name") == "CANADA"),
+                        col("s_nationkey"), col("n_nationkey"))
+    projected = Project(canadian, [("s_name", col("s_name")),
+                                   ("s_address", col("s_address"))])
+    return Sort(projected, [(col("s_name"), "asc")])
+
+
+def q21():
+    """Suppliers who kept orders waiting: EXISTS / NOT EXISTS over lineitem."""
+    late = Select(Scan("lineitem"), col("l_receiptdate") > col("l_commitdate"))
+    failed_orders = Select(Scan("orders"), col("o_orderstatus") == "F")
+    base = HashJoin(failed_orders, late, col("o_orderkey"), col("l_orderkey"))
+    base = HashJoin(base, Scan("supplier"), col("l_suppkey"), col("s_suppkey"))
+    base = HashJoin(base, Select(Scan("nation"), col("n_name") == "SAUDI ARABIA"),
+                    col("s_nationkey"), col("n_nationkey"))
+    other_supplier = Scan("lineitem", fields=("l_orderkey", "l_suppkey"))
+    with_other = HashJoin(base, other_supplier, col("o_orderkey"), col("l_orderkey"),
+                          kind="leftsemi",
+                          residual=Col("l_suppkey", "left") != Col("l_suppkey", "right"))
+    other_late = Select(Scan("lineitem",
+                             fields=("l_orderkey", "l_suppkey", "l_receiptdate",
+                                     "l_commitdate")),
+                        col("l_receiptdate") > col("l_commitdate"))
+    only_blamed = HashJoin(with_other, other_late, col("o_orderkey"), col("l_orderkey"),
+                           kind="leftanti",
+                           residual=Col("l_suppkey", "left") != Col("l_suppkey", "right"))
+    grouped = Agg(only_blamed,
+                  group_keys=[("s_name", col("s_name"))],
+                  aggregates=[AggSpec("count", None, "numwait")])
+    ordered = Sort(grouped, [(col("numwait"), "desc"), (col("s_name"), "asc")])
+    return Limit(ordered, 100)
+
+
+def q22():
+    """Global sales opportunity: inactive customers from selected country codes."""
+    codes = ["13", "31", "23", "29", "30", "18", "17"]
+    candidates = Select(Scan("customer"), in_list(substr(col("c_phone"), 1, 2), codes))
+    positive = Select(candidates, col("c_acctbal") > 0.0)
+    average = Agg(positive, [], [AggSpec("avg", col("c_acctbal"), "avg_acctbal")])
+    with_avg = HashJoin(candidates, average, lit(0), lit(0))
+    wealthy = Select(with_avg, col("c_acctbal") > col("avg_acctbal"))
+    inactive = HashJoin(wealthy, Scan("orders", fields=("o_custkey",)),
+                        col("c_custkey"), col("o_custkey"), kind="leftanti")
+    projected = Project(inactive, [("cntrycode", substr(col("c_phone"), 1, 2)),
+                                   ("c_acctbal", col("c_acctbal"))])
+    grouped = Agg(projected,
+                  group_keys=[("cntrycode", col("cntrycode"))],
+                  aggregates=[AggSpec("count", None, "numcust"),
+                              AggSpec("sum", col("c_acctbal"), "totacctbal")])
+    return Sort(grouped, [(col("cntrycode"), "asc")])

@@ -1,0 +1,139 @@
+"""The TPC-H schema with primary/foreign-key annotations.
+
+These annotations are what drives the level-4 optimizations of the paper:
+automatic index inference, data-structure partitioning and initialisation
+hoisting all consult the primary-key / foreign-key declarations made "at
+schema definition time" (Section B.1).
+"""
+from __future__ import annotations
+
+from ..storage.schema import (Schema, TableSchema, date_column, float_column,
+                              int_column, string_column)
+
+REGION = TableSchema(
+    name="region",
+    columns=[
+        int_column("r_regionkey"),
+        string_column("r_name"),
+        string_column("r_comment"),
+    ],
+    primary_key=("r_regionkey",),
+)
+
+NATION = TableSchema(
+    name="nation",
+    columns=[
+        int_column("n_nationkey"),
+        string_column("n_name"),
+        int_column("n_regionkey", references=("region", "r_regionkey")),
+        string_column("n_comment"),
+    ],
+    primary_key=("n_nationkey",),
+)
+
+SUPPLIER = TableSchema(
+    name="supplier",
+    columns=[
+        int_column("s_suppkey"),
+        string_column("s_name"),
+        string_column("s_address"),
+        int_column("s_nationkey", references=("nation", "n_nationkey")),
+        string_column("s_phone"),
+        float_column("s_acctbal"),
+        string_column("s_comment"),
+    ],
+    primary_key=("s_suppkey",),
+)
+
+CUSTOMER = TableSchema(
+    name="customer",
+    columns=[
+        int_column("c_custkey"),
+        string_column("c_name"),
+        string_column("c_address"),
+        int_column("c_nationkey", references=("nation", "n_nationkey")),
+        string_column("c_phone"),
+        float_column("c_acctbal"),
+        string_column("c_mktsegment"),
+        string_column("c_comment"),
+    ],
+    primary_key=("c_custkey",),
+)
+
+PART = TableSchema(
+    name="part",
+    columns=[
+        int_column("p_partkey"),
+        string_column("p_name"),
+        string_column("p_mfgr"),
+        string_column("p_brand"),
+        string_column("p_type"),
+        int_column("p_size"),
+        string_column("p_container"),
+        float_column("p_retailprice"),
+        string_column("p_comment"),
+    ],
+    primary_key=("p_partkey",),
+)
+
+PARTSUPP = TableSchema(
+    name="partsupp",
+    columns=[
+        int_column("ps_partkey", references=("part", "p_partkey")),
+        int_column("ps_suppkey", references=("supplier", "s_suppkey")),
+        int_column("ps_availqty"),
+        float_column("ps_supplycost"),
+        string_column("ps_comment"),
+    ],
+    primary_key=("ps_partkey", "ps_suppkey"),
+)
+
+ORDERS = TableSchema(
+    name="orders",
+    columns=[
+        int_column("o_orderkey"),
+        int_column("o_custkey", references=("customer", "c_custkey")),
+        string_column("o_orderstatus"),
+        float_column("o_totalprice"),
+        date_column("o_orderdate"),
+        string_column("o_orderpriority"),
+        string_column("o_clerk"),
+        int_column("o_shippriority"),
+        string_column("o_comment"),
+    ],
+    primary_key=("o_orderkey",),
+)
+
+LINEITEM = TableSchema(
+    name="lineitem",
+    columns=[
+        int_column("l_orderkey", references=("orders", "o_orderkey")),
+        int_column("l_partkey", references=("part", "p_partkey")),
+        int_column("l_suppkey", references=("supplier", "s_suppkey")),
+        int_column("l_linenumber"),
+        float_column("l_quantity"),
+        float_column("l_extendedprice"),
+        float_column("l_discount"),
+        float_column("l_tax"),
+        string_column("l_returnflag"),
+        string_column("l_linestatus"),
+        date_column("l_shipdate"),
+        date_column("l_commitdate"),
+        date_column("l_receiptdate"),
+        string_column("l_shipinstruct"),
+        string_column("l_shipmode"),
+        string_column("l_comment"),
+    ],
+    primary_key=("l_orderkey", "l_linenumber"),
+)
+
+ALL_TABLES = (REGION, NATION, SUPPLIER, CUSTOMER, PART, PARTSUPP, ORDERS, LINEITEM)
+
+
+def tpch_schema() -> Schema:
+    """A fresh :class:`Schema` containing the eight TPC-H relations."""
+    schema = Schema()
+    for table in ALL_TABLES:
+        schema.add(TableSchema(table.name, list(table.columns), table.primary_key))
+    schema.validate_foreign_keys()
+    return schema

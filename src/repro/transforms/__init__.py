@@ -1,0 +1,1 @@
+"""The transformations of the DSL stack: one small module per optimization or lowering."""

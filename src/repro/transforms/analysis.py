@@ -1,0 +1,53 @@
+"""Shared program-analysis helpers for the IR-level transformations."""
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..ir.nodes import Atom, Block, Program, Stmt, Sym
+from ..ir.traversal import iter_program_stmts
+
+
+def definition_map(program: Program) -> Dict[int, Stmt]:
+    """Map every symbol id to the statement defining it."""
+    defs: Dict[int, Stmt] = {}
+    for stmt, _ in iter_program_stmts(program):
+        defs[stmt.sym.id] = stmt
+    return defs
+
+
+def use_counts(program: Program) -> Dict[int, int]:
+    """Count how many times each symbol is referenced as an argument or result."""
+    counts: Dict[int, int] = {}
+
+    def visit_block(block: Block) -> None:
+        for stmt in block.stmts:
+            for arg in stmt.expr.args:
+                if isinstance(arg, Sym):
+                    counts[arg.id] = counts.get(arg.id, 0) + 1
+            for nested in stmt.expr.blocks:
+                visit_block(nested)
+        if isinstance(block.result, Sym):
+            counts[block.result.id] = counts.get(block.result.id, 0) + 1
+
+    visit_block(program.hoisted)
+    visit_block(program.body)
+    return counts
+
+
+def trace_to_table_column(atom: Atom, defs: Dict[int, Stmt]) -> Optional[tuple]:
+    """If ``atom`` is (a read of) a base-table column value, return ``(table, column)``.
+
+    Recognises the pattern ``x = array_get(col, i)`` with
+    ``col = table_column(db)[table, column]`` produced by the scan lowering.
+    """
+    if not isinstance(atom, Sym):
+        return None
+    stmt = defs.get(atom.id)
+    if stmt is None:
+        return None
+    expr = stmt.expr
+    if expr.op == "array_get":
+        return trace_to_table_column(expr.args[0], defs)
+    if expr.op == "table_column":
+        return (expr.attrs["table"], expr.attrs["column"])
+    return None

@@ -1,0 +1,79 @@
+"""Dead-code elimination over ANF programs.
+
+The effect system (:mod:`repro.ir.effects`) tells the pass which statements
+may be removed when their result is never used: pure computations, reads and
+allocations.  Writes, I/O and control-flow statements always stay.  Removing a
+statement can make further statements dead, so the pass iterates to a local
+fixed point (the outer fixed-point driver of the stack would converge anyway,
+but doing it here keeps each invocation cheap).
+"""
+from __future__ import annotations
+
+from typing import Set
+
+from ..ir.nodes import Block, Program, Sym
+from ..ir.ops import effect_of
+from ..stack.context import CompilationContext
+from ..stack.language import Language
+from ..stack.transformation import Optimization
+
+
+class DeadCodeElimination(Optimization):
+    """Remove statements whose results are unused and whose effects allow it."""
+
+    flag = "dce"
+
+    def __init__(self, language: Language) -> None:
+        super().__init__(language)
+        self.name = f"dce[{language.name}]"
+
+    def run(self, program: Program, context: CompilationContext) -> Program:
+        body = program.body
+        hoisted = program.hoisted
+        for _ in range(20):
+            used = _used_syms(hoisted) | _used_syms(body)
+            new_hoisted, removed_hoisted = _sweep(hoisted, used)
+            new_body, removed_body = _sweep(body, used)
+            hoisted, body = new_hoisted, new_body
+            if not (removed_hoisted or removed_body):
+                break
+        return Program(body=body, params=program.params, language=program.language,
+                       hoisted=hoisted)
+
+
+def _used_syms(block: Block) -> Set[int]:
+    used: Set[int] = set()
+
+    def visit(blk: Block) -> None:
+        for stmt in blk.stmts:
+            for arg in stmt.expr.args:
+                if isinstance(arg, Sym):
+                    used.add(arg.id)
+            for nested in stmt.expr.blocks:
+                visit(nested)
+        if isinstance(blk.result, Sym):
+            used.add(blk.result.id)
+
+    visit(block)
+    return used
+
+
+def _sweep(block: Block, used: Set[int]) -> tuple:
+    removed = 0
+    new_stmts = []
+    for stmt in block.stmts:
+        effect = effect_of(stmt.expr.op)
+        if stmt.sym.id not in used and effect.removable_if_unused and not stmt.expr.blocks:
+            removed += 1
+            continue
+        if stmt.expr.blocks:
+            new_blocks = []
+            for nested in stmt.expr.blocks:
+                swept, nested_removed = _sweep(nested, used)
+                removed += nested_removed
+                new_blocks.append(swept)
+            stmt = type(stmt)(stmt.sym, type(stmt.expr)(
+                stmt.expr.op, stmt.expr.args, dict(stmt.expr.attrs),
+                tuple(new_blocks), stmt.expr.type))
+        new_stmts.append(stmt)
+    return Block(new_stmts, block.result, block.params), removed

@@ -1,0 +1,40 @@
+"""Shared fixtures: a tiny two-table catalog and a small TPC-H catalog."""
+import pytest
+
+from repro.storage.catalog import Catalog
+from repro.storage.layouts import ColumnarTable
+from repro.storage.schema import TableSchema, float_column, int_column, string_column
+from repro.tpch.dbgen import generate_catalog
+
+
+def build_tiny_catalog() -> Catalog:
+    """The paper's running example: R(name, sid) and S(rid, val)."""
+    catalog = Catalog()
+    r_schema = TableSchema("R", [int_column("r_id"), string_column("r_name"),
+                                 int_column("r_sid")], primary_key=("r_id",))
+    # note: s_rid deliberately carries *no* foreign-key annotation — the data
+    # contains a dangling rid (50), so compiled plans must keep bounds guards.
+    s_schema = TableSchema("S", [int_column("s_id"), int_column("s_rid"),
+                                 float_column("s_val")], primary_key=("s_id",))
+    catalog.register(ColumnarTable(r_schema, {
+        "r_id": [1, 2, 3, 4, 5],
+        "r_name": ["R1", "R2", "R1", "R3", "R1"],
+        "r_sid": [10, 20, 30, 10, 40],
+    }))
+    catalog.register(ColumnarTable(s_schema, {
+        "s_id": [100, 101, 102, 103, 104, 105],
+        "s_rid": [10, 30, 10, 50, 30, 40],
+        "s_val": [1.0, 2.0, 3.0, 4.0, 5.0, 6.0],
+    }))
+    return catalog
+
+
+@pytest.fixture()
+def tiny_catalog() -> Catalog:
+    return build_tiny_catalog()
+
+
+@pytest.fixture(scope="session")
+def tpch_catalog() -> Catalog:
+    """A small deterministic TPC-H catalog shared by integration tests."""
+    return generate_catalog(scale_factor=0.001, seed=20160626)

@@ -1,0 +1,82 @@
+"""Unit tests for the .tbl loader and the integer date encoding."""
+import os
+
+import pytest
+
+from repro import dates
+from repro.storage.loader import (LoaderError, dump_table_file, load_directory,
+                                  load_table_file)
+from repro.storage.schema import (Schema, TableSchema, date_column, float_column,
+                                  int_column, string_column)
+from repro.storage.layouts import ColumnarTable
+
+
+class TestDates:
+    def test_round_trip(self):
+        assert dates.date_to_int("1998-09-02") == 19980902
+        assert dates.int_to_str(19980902) == "1998-09-02"
+
+    def test_year_extraction(self):
+        assert dates.year_of(19950704) == 1995
+
+    def test_add_days_crosses_month_and_year(self):
+        assert dates.add_days(19981230, 5) == 19990104
+
+    def test_add_months(self):
+        assert dates.add_months(19950101, 3) == 19950401
+        assert dates.add_months(19951115, 3) == 19960215
+
+    def test_add_months_clamps_day(self):
+        assert dates.add_months(19950131, 1) in (19950228, 19950227)
+
+    def test_add_years(self):
+        assert dates.add_years(19940101, 1) == 19950101
+
+    def test_ordering_matches_chronology(self):
+        assert dates.date_to_int("1995-03-15") < dates.date_to_int("1995-03-16")
+        assert dates.date_to_int("1994-12-31") < dates.date_to_int("1995-01-01")
+
+    def test_int_passthrough(self):
+        assert dates.date_to_int(19940101) == 19940101
+
+
+def sales_schema() -> TableSchema:
+    return TableSchema("sales", [int_column("id"), string_column("item"),
+                                 float_column("price"), date_column("day")],
+                       primary_key=("id",))
+
+
+class TestLoader:
+    def test_load_and_dump_round_trip(self, tmp_path):
+        path = tmp_path / "sales.tbl"
+        path.write_text("1|apple|2.5|1995-01-01|\n2|pear|3.0|1996-06-15|\n")
+        table = load_table_file(sales_schema(), str(path))
+        assert table.num_rows == 2
+        assert table.column("day") == [19950101, 19960615]
+        out = tmp_path / "out.tbl"
+        dump_table_file(table, str(out))
+        reloaded = load_table_file(sales_schema(), str(out))
+        assert reloaded.columns == table.columns
+
+    def test_wrong_field_count_raises(self, tmp_path):
+        path = tmp_path / "sales.tbl"
+        path.write_text("1|apple|\n")
+        with pytest.raises(LoaderError):
+            load_table_file(sales_schema(), str(path))
+
+    def test_load_directory(self, tmp_path):
+        (tmp_path / "sales.tbl").write_text("1|apple|2.5|1995-01-01|\n")
+        schema = Schema().add(sales_schema())
+        catalog = load_directory(schema, str(tmp_path))
+        assert catalog.size("sales") == 1
+
+    def test_load_directory_missing_file(self, tmp_path):
+        schema = Schema().add(sales_schema())
+        with pytest.raises(LoaderError):
+            load_directory(schema, str(tmp_path))
+
+    def test_empty_lines_are_skipped(self, tmp_path):
+        path = tmp_path / "sales.tbl"
+        path.write_text("1|apple|2.5|1995-01-01|\n\n2|pear|3.0|1996-06-15|\n")
+        table = load_table_file(sales_schema(), str(path))
+        assert table.num_rows == 2

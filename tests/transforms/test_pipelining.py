@@ -1,0 +1,202 @@
+"""Unit tests for the push-engine pipelining lowering."""
+import pytest
+
+from repro.codegen.compiler import QueryCompiler
+from repro.dsl import qplan as Q
+from repro.dsl.expr import Col, col, lit
+from repro.engine.volcano import execute
+from repro.ir.nodes import Program
+from repro.ir.traversal import count_ops, iter_program_stmts, ops_used
+from repro.stack import CompilationContext, OptimizationFlags, SCALITE_MAP_LIST
+from repro.stack.configs import build_config
+from repro.transforms.pipelining import PipeliningError, PushPipelineLowering
+
+
+def lower(plan, catalog, flags=None):
+    lowering = PushPipelineLowering(SCALITE_MAP_LIST)
+    context = CompilationContext(catalog=catalog,
+                                 flags=flags or build_config("dblab-4").flags)
+    return lowering.run(plan, context), context
+
+
+def compile_and_run(plan, catalog, config_name="dblab-5"):
+    config = build_config(config_name)
+    compiled = QueryCompiler(config.stack, config.flags).compile(plan, catalog, "test")
+    return compiled
+
+
+def canon(rows):
+    return sorted(tuple(sorted((k, repr(v)) for k, v in row.items())) for row in rows)
+
+
+class TestLoweringStructure:
+    def test_scan_becomes_bounded_loop(self, tiny_catalog):
+        program, _ = lower(Q.Scan("R"), tiny_catalog)
+        assert isinstance(program, Program)
+        counts = count_ops(program)
+        assert counts["for_range"] == 1
+        assert counts["table_size"] == 1
+        assert program.language == "ScaLite[Map, List]"
+
+    def test_select_emits_conditional_inside_loop(self, tiny_catalog):
+        program, _ = lower(Q.Select(Q.Scan("R"), col("r_id") > 2), tiny_catalog)
+        assert count_ops(program)["if_"] >= 1
+
+    def test_pipelining_produces_no_intermediate_lists_for_select_chain(self, tiny_catalog):
+        """Fused selects share one loop: no materialisation between operators."""
+        plan = Q.Select(Q.Select(Q.Scan("R"), col("r_id") > 1), col("r_sid") > 5)
+        program, _ = lower(plan, tiny_catalog)
+        counts = count_ops(program)
+        assert counts["for_range"] == 1
+        # only the query result list is ever allocated
+        assert counts["list_new"] == 1
+
+    def test_hash_join_uses_multimap(self, tiny_catalog):
+        plan = Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"))
+        program, _ = lower(plan, tiny_catalog)
+        used = ops_used(program)
+        assert {"mmap_new", "mmap_add", "mmap_get", "list_foreach"} <= used
+
+    def test_aggregate_uses_hashmap_agg(self, tiny_catalog):
+        plan = Q.Agg(Q.Scan("S"), [("s_rid", col("s_rid"))],
+                     [Q.AggSpec("sum", col("s_val"), "total")])
+        program, _ = lower(plan, tiny_catalog)
+        used = ops_used(program)
+        assert {"hashmap_agg_new", "hashmap_agg_update", "hashmap_agg_foreach"} <= used
+
+    def test_sort_key_must_be_plain_column(self, tiny_catalog):
+        plan = Q.Sort(Q.Scan("S"), [(col("s_val") * 2, "asc")])
+        with pytest.raises(PipeliningError):
+            lower(plan, tiny_catalog)
+
+    def test_requires_catalog(self, tiny_catalog):
+        lowering = PushPipelineLowering(SCALITE_MAP_LIST)
+        with pytest.raises(PipeliningError):
+            lowering.run(Q.Scan("R"), CompilationContext(catalog=None))
+
+    def test_dense_key_annotations_attached(self, tiny_catalog):
+        """Key range facts flow to mmap_new as annotations (Section 3.3)."""
+        plan = Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"))
+        program, _ = lower(plan, tiny_catalog)
+        mmap_news = [s for s, _ in iter_program_stmts(program) if s.expr.op == "mmap_new"]
+        assert len(mmap_news) == 1
+        attrs = mmap_news[0].expr.attrs
+        assert attrs["key_lo"] == 10 and attrs["key_hi"] == 40
+        assert attrs["build_is_base"] is True
+
+    def test_probe_in_range_detected_for_fk_pk_join(self):
+        """A foreign-key probe against its referenced key shares the key domain."""
+        from repro.storage.catalog import Catalog
+        from repro.storage.layouts import ColumnarTable
+        from repro.storage.schema import TableSchema, int_column
+        catalog = Catalog()
+        catalog.register(ColumnarTable(
+            TableSchema("dept", [int_column("d_id")], primary_key=("d_id",)),
+            {"d_id": [1, 2, 3]}))
+        catalog.register(ColumnarTable(
+            TableSchema("emp", [int_column("e_id"),
+                                int_column("e_dept", references=("dept", "d_id"))],
+                        primary_key=("e_id",)),
+            {"e_id": [10, 11], "e_dept": [1, 3]}))
+        plan = Q.HashJoin(Q.Scan("dept"), Q.Scan("emp"), col("d_id"), col("e_dept"))
+        program, _ = lower(plan, catalog)
+        attrs = [s for s, _ in iter_program_stmts(program)
+                 if s.expr.op == "mmap_new"][0].expr.attrs
+        assert attrs["probe_in_range"] is True
+        assert attrs["unique"] is True
+
+    def test_probe_guard_kept_without_foreign_key(self, tiny_catalog):
+        """The tiny catalog has a dangling rid and no FK: the guard must stay."""
+        plan = Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"))
+        program, _ = lower(plan, tiny_catalog)
+        attrs = [s for s, _ in iter_program_stmts(program)
+                 if s.expr.op == "mmap_new"][0].expr.attrs
+        assert attrs["probe_in_range"] is False
+
+    def test_partitioned_build_moves_to_hoisted_block(self, tiny_catalog):
+        flags = build_config("dblab-4").flags
+        plan = Q.HashJoin(Q.Select(Q.Scan("R"), col("r_name") == "R1"),
+                          Q.Scan("S"), col("r_sid"), col("s_rid"))
+        program, _ = lower(plan, tiny_catalog, flags)
+        hoisted_ops = {s.expr.op for s in program.hoisted.stmts}
+        assert "mmap_new" in hoisted_ops
+        assert "for_range" in hoisted_ops
+        # the filter is applied at probe time (Figure 7c), inside the body
+        body_ops = ops_used(Program(body=program.body, params=program.params, language=""))
+        assert "eq" in body_ops
+
+    def test_no_partitioning_when_flag_disabled(self, tiny_catalog):
+        flags = build_config("tpch-compliant").flags
+        plan = Q.HashJoin(Q.Select(Q.Scan("R"), col("r_name") == "R1"),
+                          Q.Scan("S"), col("r_sid"), col("s_rid"))
+        program, _ = lower(plan, tiny_catalog, flags)
+        assert not program.hoisted.stmts
+
+    def test_boxed_records_without_scalar_replacement(self, tiny_catalog):
+        flags = build_config("dblab-2").flags
+        program, _ = lower(Q.Select(Q.Scan("R"), col("r_id") > 1), tiny_catalog, flags)
+        counts = count_ops(program)
+        assert counts["record_new"] >= 1
+        assert counts["record_get"] >= 1
+
+
+class TestLoweredSemantics:
+    """The compiled plans must agree with the Volcano interpreter."""
+
+    @pytest.mark.parametrize("config_name", ["dblab-2", "dblab-3", "dblab-4", "dblab-5",
+                                             "tpch-compliant"])
+    def test_join_aggregate_pipeline(self, tiny_catalog, config_name):
+        plan = Q.Agg(
+            Q.HashJoin(Q.Select(Q.Scan("R"), col("r_name") == "R1"),
+                       Q.Scan("S"), col("r_sid"), col("s_rid")),
+            [("r_name", col("r_name"))],
+            [Q.AggSpec("sum", col("s_val"), "total"), Q.AggSpec("count", None, "n")])
+        compiled = compile_and_run(plan, tiny_catalog, config_name)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    @pytest.mark.parametrize("kind", ["leftsemi", "leftanti", "leftouter"])
+    def test_join_variants(self, tiny_catalog, kind):
+        plan = Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"), kind=kind)
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    def test_join_with_sided_residual(self, tiny_catalog):
+        plan = Q.HashJoin(Q.Scan("S"), Q.Scan("S", fields=("s_rid", "s_id")),
+                          col("s_rid"), Col("s_rid"), kind="leftsemi",
+                          residual=Col("s_id", "left") != Col("s_id", "right"))
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    def test_nested_loop_join(self, tiny_catalog):
+        plan = Q.NestedLoopJoin(Q.Scan("R"), Q.Scan("S"),
+                                predicate=Col("r_sid", "left") < Col("s_rid", "right"))
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    def test_sort_and_limit(self, tiny_catalog):
+        plan = Q.Limit(Q.Sort(Q.Scan("S"), [(col("s_val"), "desc")]), 3)
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert compiled.run(tiny_catalog) == execute(plan, tiny_catalog)
+
+    def test_global_aggregate_with_having_free_group(self, tiny_catalog):
+        plan = Q.Agg(Q.Scan("S"), [],
+                     [Q.AggSpec("min", col("s_val"), "lo"),
+                      Q.AggSpec("max", col("s_val"), "hi"),
+                      Q.AggSpec("avg", col("s_val"), "mean")])
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    def test_projection_with_computed_columns(self, tiny_catalog):
+        plan = Q.Project(Q.Scan("S"), [("twice", col("s_val") * 2),
+                                       ("shifted", col("s_rid") + 1)])
+        compiled = compile_and_run(plan, tiny_catalog)
+        assert canon(compiled.run(tiny_catalog)) == canon(execute(plan, tiny_catalog))
+
+    def test_prepared_structures_are_reusable_across_runs(self, tiny_catalog):
+        plan = Q.Agg(Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid")),
+                     [], [Q.AggSpec("count", None, "n")])
+        compiled = compile_and_run(plan, tiny_catalog, "dblab-5")
+        aux = compiled.prepare(tiny_catalog)
+        first = compiled.run(tiny_catalog, aux)
+        second = compiled.run(tiny_catalog, aux)
+        assert first == second == execute(plan, tiny_catalog)
