@@ -23,13 +23,13 @@ from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..codegen.compiler import CompiledQuery, QueryCompiler
 from ..engine.template_expander import TemplateExpander
-from ..engine.volcano import VolcanoEngine
-from ..stack.configs import CONFIG_NAMES, StackConfig, build_config
+from ..stack.configs import (CONFIG_NAMES, DIRECT_ENGINE_NAMES, StackConfig,
+                             build_config, build_direct_engine)
 from ..storage.catalog import Catalog
 from ..tpch.queries import QUERY_NAMES, build_query
 
 #: every engine the harness knows how to run, in reporting order
-ENGINE_NAMES = ("interpreter", "template-expander") + CONFIG_NAMES
+ENGINE_NAMES = DIRECT_ENGINE_NAMES + ("template-expander",) + CONFIG_NAMES
 
 
 @dataclass
@@ -69,9 +69,10 @@ class BenchmarkHarness:
                 measure_memory: bool = False) -> Measurement:
         """Run one query under one engine and return its measurement."""
         plan = plan if plan is not None else build_query(query_name)
-        if engine == "interpreter":
+        if engine in DIRECT_ENGINE_NAMES:
+            runner = build_direct_engine(engine, self.catalog)
             return self._measure_callable(
-                query_name, engine, lambda: VolcanoEngine(self.catalog).execute(plan),
+                query_name, engine, lambda: runner.execute(plan),
                 measure_memory=measure_memory)
         if engine == "template-expander":
             expanded = TemplateExpander(self.catalog).compile(plan, query_name)

@@ -14,8 +14,9 @@ plan is a :class:`CompiledQuery` exposing:
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+import weakref
+from dataclasses import dataclass, field, replace
+from typing import Any, Dict, List, Optional, Tuple
 
 from ..dsl import qmonad as M
 from ..dsl import qplan as Q
@@ -43,6 +44,7 @@ class CompiledQuery:
     phases: List[Any] = field(default_factory=list)
     generation_seconds: float = 0.0
     python_compile_seconds: float = 0.0
+    cache_hit: bool = False
     _prepare_fn: Any = None
     _query_fn: Any = None
     _aux: Optional[Dict[str, Any]] = None
@@ -69,12 +71,54 @@ class CompiledQuery:
         return len(self.source.splitlines())
 
 
+@dataclass
+class QueryCacheStats:
+    """Hit/miss counters of the compiled-query cache."""
+
+    hits: int = 0
+    misses: int = 0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+
+
 class QueryCompiler:
-    """Compiles QPlan trees through a DSL stack configuration."""
+    """Compiles QPlan trees through a DSL stack configuration.
+
+    Compilation results are cached process-wide, keyed by a stable fingerprint
+    of the QPlan tree plus the stack configuration, its optimization flags and
+    the target catalog.  Recompiling the same plan under the same
+    configuration is therefore free: the DSL stack does not run again (this
+    directly improves the repeated-compilation numbers behind Figure 9).
+    """
+
+    #: process-wide compiled-query cache: key -> (CompiledQuery, catalog ref)
+    _cache: Dict[Tuple, Tuple[CompiledQuery, "weakref.ref"]] = {}
+    cache_stats = QueryCacheStats()
 
     def __init__(self, stack: DslStack, flags: Optional[OptimizationFlags] = None) -> None:
         self.stack = stack
         self.flags = flags if flags is not None else OptimizationFlags()
+
+    # ------------------------------------------------------------------
+    # Cache management
+    # ------------------------------------------------------------------
+    @classmethod
+    def clear_cache(cls) -> None:
+        cls._cache.clear()
+        cls.cache_stats.reset()
+
+    @classmethod
+    def cache_len(cls) -> int:
+        return len(cls._cache)
+
+    def _cache_key(self, plan, catalog: Catalog, query_name: str) -> Optional[Tuple]:
+        if not isinstance(plan, Q.Operator):
+            return None  # QMonad chains are not fingerprinted (yet)
+        flags_key = tuple(sorted(self.flags.__dict__.items()))
+        return (Q.plan_fingerprint(plan), self.stack.name, flags_key,
+                query_name, id(catalog))
 
     def compile(self, plan, catalog: Catalog,
                 query_name: str = "query") -> CompiledQuery:
@@ -92,6 +136,19 @@ class QueryCompiler:
         else:
             raise CompilerError(
                 f"expected a QPlan operator or a QueryMonad chain, got {type(plan).__name__}")
+
+        key = self._cache_key(plan, catalog, query_name)
+        if key is not None:
+            entry = QueryCompiler._cache.get(key)
+            if entry is not None:
+                cached, catalog_ref = entry
+                if catalog_ref() is catalog:
+                    # The id() component of the key could alias a dead catalog;
+                    # the weak reference check rules that out.
+                    QueryCompiler.cache_stats.hits += 1
+                    return replace(cached, cache_hit=True, _aux=None)
+                del QueryCompiler._cache[key]
+
         context = CompilationContext(catalog=catalog, flags=self.flags,
                                      query_name=query_name)
         start = time.perf_counter()
@@ -111,7 +168,7 @@ class QueryCompiler:
         exec(code, namespace)  # noqa: S102 - executing our own generated code
         python_compile_seconds = time.perf_counter() - start
 
-        return CompiledQuery(
+        compiled = CompiledQuery(
             name=query_name,
             source=source,
             config=self.stack.name,
@@ -122,3 +179,20 @@ class QueryCompiler:
             _prepare_fn=namespace["prepare"],
             _query_fn=namespace["query"],
         )
+        QueryCompiler.cache_stats.misses += 1
+        if key is not None:
+            if len(QueryCompiler._cache) >= 512:
+                QueryCompiler._prune_cache()
+            QueryCompiler._cache[key] = (compiled, weakref.ref(catalog))
+        return compiled
+
+    @classmethod
+    def _prune_cache(cls) -> None:
+        """Drop entries whose catalog is gone; fall back to a full clear only
+        if the cache is genuinely full of live entries."""
+        dead = [key for key, (_, catalog_ref) in cls._cache.items()
+                if catalog_ref() is None]
+        for key in dead:
+            del cls._cache[key]
+        if len(cls._cache) >= 512:
+            cls._cache.clear()

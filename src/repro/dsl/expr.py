@@ -25,6 +25,8 @@ class ExprError(Exception):
 class Expr:
     """Base class of scalar expressions (with operator-overloading sugar)."""
 
+    __slots__ = ()
+
     # -- arithmetic ------------------------------------------------------
     def __add__(self, other: "ExprLike") -> "BinOp":
         return BinOp("+", self, wrap(other))
@@ -91,7 +93,7 @@ def wrap(value: ExprLike) -> Expr:
     raise ExprError(f"cannot use {value!r} as a scalar expression")
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Col(Expr):
     """A column reference.
 
@@ -106,7 +108,7 @@ class Col(Expr):
         return f"Col({self.name!r})" if self.side is None else f"Col({self.name!r}, {self.side})"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Lit(Expr):
     """A literal constant."""
 
@@ -116,7 +118,7 @@ class Lit(Expr):
         return f"Lit({self.value!r})"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class BinOp(Expr):
     """A binary operation: arithmetic, comparison or boolean connective."""
 
@@ -134,7 +136,7 @@ class BinOp(Expr):
         return f"({self.left!r} {self.op} {self.right!r})"
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class UnaryOp(Expr):
     """Unary negation or logical not."""
 
@@ -148,7 +150,7 @@ class UnaryOp(Expr):
             raise ExprError(f"unknown unary operator {self.op!r}")
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Like(Expr):
     """SQL LIKE with ``%`` wildcards (the only wildcard TPC-H needs)."""
 
@@ -191,7 +193,7 @@ class Like(Expr):
         return value == needle
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class InList(Expr):
     """``expr IN (v1, v2, ...)`` over literal values."""
 
@@ -202,7 +204,7 @@ class InList(Expr):
         self.values = tuple(self.values)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Case(Expr):
     """``CASE WHEN cond THEN value ... ELSE default END``."""
 
@@ -213,7 +215,7 @@ class Case(Expr):
         self.whens = tuple((c, v) for c, v in self.whens)
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class Substr(Expr):
     """``SUBSTRING(expr FROM start FOR length)`` (1-based, as in SQL)."""
 
@@ -222,14 +224,14 @@ class Substr(Expr):
     length: int
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class YearOf(Expr):
     """``EXTRACT(YEAR FROM date_expr)`` over the integer date encoding."""
 
     operand: Expr
 
 
-@dataclass(eq=False)
+@dataclass(eq=False, slots=True)
 class IsNull(Expr):
     """NULL test, used against the padded side of outer joins."""
 

@@ -33,7 +33,7 @@ JOIN_KINDS = ("inner", "leftsemi", "leftanti", "leftouter")
 AGG_KINDS = ("sum", "count", "avg", "min", "max", "count_distinct")
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class AggSpec:
     """One aggregate of a group-by: ``name = kind(expr)``.
 
@@ -53,6 +53,8 @@ class AggSpec:
 
 class Operator:
     """Base class of QPlan operators."""
+
+    __slots__ = ()
 
     def children(self) -> Tuple["Operator", ...]:
         raise NotImplementedError
@@ -74,7 +76,7 @@ class Operator:
         return self.tree_repr()
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Scan(Operator):
     """Full scan of a base relation.
 
@@ -97,7 +99,7 @@ class Scan(Operator):
         return f"Scan({self.table}: {fields})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Select(Operator):
     """Filter rows by a predicate."""
 
@@ -114,7 +116,7 @@ class Select(Operator):
         return f"Select({self.predicate!r})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Project(Operator):
     """Compute (and rename) output columns: ``projections = [(name, expr), ...]``."""
 
@@ -137,7 +139,7 @@ class Project(Operator):
         return f"Project({', '.join(name for name, _ in self.projections)})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class HashJoin(Operator):
     """Equi hash join.
 
@@ -170,7 +172,7 @@ class HashJoin(Operator):
         return f"HashJoin[{self.kind}]({self.left_key!r} = {self.right_key!r})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class NestedLoopJoin(Operator):
     """Nested-loop join for non-equi predicates (and cross products)."""
 
@@ -193,7 +195,7 @@ class NestedLoopJoin(Operator):
         return f"NestedLoopJoin[{self.kind}]({self.predicate!r})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Agg(Operator):
     """Group-by aggregation.
 
@@ -226,7 +228,7 @@ class Agg(Operator):
         return f"Agg(keys=[{keys}], aggs=[{aggs}])"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Sort(Operator):
     """Order rows by a list of ``(expr, 'asc'|'desc')`` keys."""
 
@@ -249,7 +251,7 @@ class Sort(Operator):
         return f"Sort({', '.join(order for _, order in self.keys)})"
 
 
-@dataclass(repr=False)
+@dataclass(repr=False, slots=True)
 class Limit(Operator):
     """Keep only the first ``count`` rows."""
 
@@ -320,6 +322,52 @@ def output_fields(plan: Operator, catalog) -> List[str]:
     if isinstance(plan, Agg):
         return [name for name, _ in plan.group_keys] + [a.name for a in plan.aggregates]
     raise PlanError(f"unknown operator {type(plan).__name__}")
+
+
+def plan_fingerprint(plan: Operator) -> str:
+    """A stable structural fingerprint of a plan tree (hex digest).
+
+    Two plans share a fingerprint iff they are structurally identical —
+    same operator tree, expressions, literals, field lists and options — which
+    is the key of the compiled-query cache in :mod:`repro.codegen.compiler`.
+    """
+    import hashlib
+
+    return hashlib.sha256(_plan_canonical(plan).encode("utf-8")).hexdigest()
+
+
+def _plan_canonical(plan: Operator) -> str:
+    from .expr_compile import expr_fingerprint as efp
+
+    def opt(expr) -> str:
+        return "-" if expr is None else efp(expr)
+
+    if isinstance(plan, Scan):
+        fields = "*" if plan.fields is None else ",".join(plan.fields)
+        return f"Scan({plan.table};{fields})"
+    if isinstance(plan, Select):
+        return f"Select({efp(plan.predicate)};{_plan_canonical(plan.child)})"
+    if isinstance(plan, Project):
+        projections = ",".join(f"{name}={efp(expr)}" for name, expr in plan.projections)
+        return f"Project({projections};{_plan_canonical(plan.child)})"
+    if isinstance(plan, HashJoin):
+        return (f"HashJoin({plan.kind};{efp(plan.left_key)};{efp(plan.right_key)};"
+                f"{opt(plan.residual)};{_plan_canonical(plan.left)};"
+                f"{_plan_canonical(plan.right)})")
+    if isinstance(plan, NestedLoopJoin):
+        return (f"NestedLoopJoin({plan.kind};{opt(plan.predicate)};"
+                f"{_plan_canonical(plan.left)};{_plan_canonical(plan.right)})")
+    if isinstance(plan, Agg):
+        keys = ",".join(f"{name}={efp(expr)}" for name, expr in plan.group_keys)
+        aggs = ",".join(f"{a.name}={a.kind}({opt(a.expr)})" for a in plan.aggregates)
+        return (f"Agg([{keys}];[{aggs}];{opt(plan.having)};"
+                f"{_plan_canonical(plan.child)})")
+    if isinstance(plan, Sort):
+        keys = ",".join(f"{efp(expr)}:{order}" for expr, order in plan.keys)
+        return f"Sort([{keys}];{_plan_canonical(plan.child)})"
+    if isinstance(plan, Limit):
+        return f"Limit({plan.count};{_plan_canonical(plan.child)})"
+    raise PlanError(f"cannot fingerprint operator {type(plan).__name__}")
 
 
 def validate(plan: Operator, catalog) -> None:

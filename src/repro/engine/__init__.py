@@ -1,5 +1,8 @@
-"""Execution engines used as baselines: the Volcano interpreter and the template expander."""
+"""Execution engines that run QPlan trees directly: the Volcano interpreter,
+the single-step template expander and the vectorized columnar engine."""
 from .template_expander import TemplateExpander
+from .vectorized import ColumnBatch, VectorizedEngine
 from .volcano import VolcanoEngine, execute
 
-__all__ = ["TemplateExpander", "VolcanoEngine", "execute"]
+__all__ = ["ColumnBatch", "TemplateExpander", "VectorizedEngine",
+           "VolcanoEngine", "execute"]

@@ -2,8 +2,13 @@
 
 This is the classical pull-based engine the paper contrasts compilation with:
 every operator is a generator that pulls rows from its children one at a time,
-paying interpretation overhead (virtual dispatch, boxed row dictionaries,
-per-row expression-tree walking) for every tuple.
+paying interpretation overhead (virtual dispatch, boxed row dictionaries) for
+every tuple.
+
+Scalar expressions are no longer tree-walked per row: each operator compiles
+its expressions once into Python closures (:mod:`repro.dsl.expr_compile`) and
+calls those per tuple.  The boxed-row shape of the interpreter — the thing the
+vectorized and compiled engines remove — is unchanged.
 
 The interpreter plays two roles in this repository:
 
@@ -13,10 +18,10 @@ The interpreter plays two roles in this repository:
 """
 from __future__ import annotations
 
-from typing import Any, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
 
 from ..dsl import qplan
-from ..dsl.expr import evaluate
+from ..dsl.expr_compile import compile_pair, compile_row
 from ..storage.catalog import Catalog
 
 Row = Dict[str, Any]
@@ -70,38 +75,46 @@ class VolcanoEngine:
             yield {name: column[i] for name, column in zip(fields, columns)}
 
     def _select(self, plan: qplan.Select) -> Iterator[Row]:
+        predicate = compile_row(plan.predicate)
         for row in self.iterate(plan.child):
-            if evaluate(plan.predicate, row):
+            if predicate(row):
                 yield row
 
     def _project(self, plan: qplan.Project) -> Iterator[Row]:
+        projections = [(name, compile_row(expr)) for name, expr in plan.projections]
         for row in self.iterate(plan.child):
-            yield {name: evaluate(expr, row) for name, expr in plan.projections}
+            yield {name: fn(row) for name, fn in projections}
 
     def _hash_join(self, plan: qplan.HashJoin) -> Iterator[Row]:
         # Build phase: hash the left input on its key.
+        left_key = compile_row(plan.left_key)
         buckets: Dict[Any, List[Row]] = {}
         for row in self.iterate(plan.left):
-            key = evaluate(plan.left_key, row)
-            buckets.setdefault(key, []).append(row)
+            buckets.setdefault(left_key(row), []).append(row)
+
+        right_key = compile_row(plan.right_key)
+        residual = compile_pair(plan.residual) if plan.residual is not None else None
 
         if plan.kind == "inner":
-            yield from self._probe_inner(plan, buckets)
+            yield from self._probe_inner(plan, buckets, right_key, residual)
         elif plan.kind == "leftouter":
-            yield from self._probe_outer(plan, buckets)
+            yield from self._probe_outer(plan, buckets, right_key, residual)
         elif plan.kind in ("leftsemi", "leftanti"):
-            yield from self._probe_semi_anti(plan, buckets)
+            yield from self._probe_semi_anti(plan, buckets, right_key, residual)
         else:  # pragma: no cover - guarded by the QPlan constructor
             raise VolcanoError(f"unknown join kind {plan.kind!r}")
 
-    def _probe_inner(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+    def _probe_inner(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]],
+                     right_key: Callable[[Row], Any],
+                     residual: Optional[Callable[[Row, Row], Any]]) -> Iterator[Row]:
         for right_row in self.iterate(plan.right):
-            key = evaluate(plan.right_key, right_row)
-            for left_row in buckets.get(key, ()):
-                if self._residual_ok(plan, left_row, right_row):
+            for left_row in buckets.get(right_key(right_row), ()):
+                if residual is None or residual(left_row, right_row):
                     yield {**left_row, **right_row}
 
-    def _probe_outer(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+    def _probe_outer(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]],
+                     right_key: Callable[[Row], Any],
+                     residual: Optional[Callable[[Row, Row], Any]]) -> Iterator[Row]:
         """Left outer join: every left row appears; unmatched ones are null-padded.
 
         The probe side is the right input, so matches are gathered per left
@@ -112,9 +125,8 @@ class VolcanoEngine:
         left_rows: List[Row] = [row for rows in buckets.values() for row in rows]
         matched_pairs: List[Tuple[Row, Row]] = []
         for right_row in self.iterate(plan.right):
-            key = evaluate(plan.right_key, right_row)
-            for left_row in buckets.get(key, ()):
-                if self._residual_ok(plan, left_row, right_row):
+            for left_row in buckets.get(right_key(right_row), ()):
+                if residual is None or residual(left_row, right_row):
                     matched[id(left_row)] = True
                     matched_pairs.append((left_row, right_row))
         for left_row, right_row in matched_pairs:
@@ -124,13 +136,14 @@ class VolcanoEngine:
             if id(left_row) not in matched:
                 yield {**left_row, **null_pad}
 
-    def _probe_semi_anti(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]]) -> Iterator[Row]:
+    def _probe_semi_anti(self, plan: qplan.HashJoin, buckets: Dict[Any, List[Row]],
+                         right_key: Callable[[Row], Any],
+                         residual: Optional[Callable[[Row, Row], Any]]) -> Iterator[Row]:
         """Semi/anti join: emit left rows with (without) at least one match."""
         matched: Dict[int, bool] = {}
         for right_row in self.iterate(plan.right):
-            key = evaluate(plan.right_key, right_row)
-            for left_row in buckets.get(key, ()):
-                if self._residual_ok(plan, left_row, right_row):
+            for left_row in buckets.get(right_key(right_row), ()):
+                if residual is None or residual(left_row, right_row):
                     matched[id(left_row)] = True
         want_match = plan.kind == "leftsemi"
         for rows in buckets.values():
@@ -140,16 +153,20 @@ class VolcanoEngine:
 
     def _nested_loop_join(self, plan: qplan.NestedLoopJoin) -> Iterator[Row]:
         right_rows = list(self.iterate(plan.right))
+        predicate = compile_pair(plan.predicate) if plan.predicate is not None else None
+
+        def matches(left_row: Row, right_row: Row) -> bool:
+            return predicate is None or bool(predicate(left_row, right_row))
+
         if plan.kind == "inner":
             for left_row in self.iterate(plan.left):
                 for right_row in right_rows:
-                    if self._nl_predicate_ok(plan, left_row, right_row):
+                    if matches(left_row, right_row):
                         yield {**left_row, **right_row}
         elif plan.kind in ("leftsemi", "leftanti"):
             want_match = plan.kind == "leftsemi"
             for left_row in self.iterate(plan.left):
-                has_match = any(self._nl_predicate_ok(plan, left_row, right_row)
-                                for right_row in right_rows)
+                has_match = any(matches(left_row, right_row) for right_row in right_rows)
                 if has_match == want_match:
                     yield left_row
         elif plan.kind == "leftouter":
@@ -158,7 +175,7 @@ class VolcanoEngine:
             for left_row in self.iterate(plan.left):
                 found = False
                 for right_row in right_rows:
-                    if self._nl_predicate_ok(plan, left_row, right_row):
+                    if matches(left_row, right_row):
                         found = True
                         yield {**left_row, **right_row}
                 if not found:
@@ -167,37 +184,43 @@ class VolcanoEngine:
             raise VolcanoError(f"unknown join kind {plan.kind!r}")
 
     def _aggregate(self, plan: qplan.Agg) -> Iterator[Row]:
-        groups: Dict[Tuple, List[Any]] = {}
-        key_rows: Dict[Tuple, Row] = {}
-        distinct_sets: Dict[Tuple, List[set]] = {}
         aggs = plan.aggregates
+        key_names = [name for name, _ in plan.group_keys]
+        key_fns = [compile_row(expr) for _, expr in plan.group_keys]
+        agg_fns = [compile_row(agg.expr) if agg.expr is not None else None
+                   for agg in aggs]
+        having = compile_row(plan.having) if plan.having is not None else None
 
+        groups: Dict[Tuple, List[Any]] = {}
         for row in self.iterate(plan.child):
-            key = tuple(evaluate(expr, row) for _, expr in plan.group_keys)
-            if key not in groups:
-                groups[key] = [_initial_accumulator(a) for a in aggs]
-                key_rows[key] = {name: value
-                                 for (name, _), value in zip(plan.group_keys, key)}
-                distinct_sets[key] = [set() if a.kind == "count_distinct" else None
-                                      for a in aggs]
-            accumulators = groups[key]
-            sets = distinct_sets[key]
+            key = tuple(fn(row) for fn in key_fns)
+            accumulators = groups.get(key)
+            if accumulators is None:
+                accumulators = groups[key] = [initial_accumulator(a) for a in aggs]
             for i, agg in enumerate(aggs):
-                accumulators[i] = _fold_accumulator(agg, accumulators[i], row, sets[i])
+                fn = agg_fns[i]
+                accumulators[i] = fold_value(agg, accumulators[i],
+                                             fn(row) if fn is not None else None)
 
         for key, accumulators in groups.items():
-            out = dict(key_rows[key])
+            out = dict(zip(key_names, key))
             for agg, accumulator in zip(aggs, accumulators):
-                out[agg.name] = _finalise_accumulator(agg, accumulator)
-            if plan.having is None or evaluate(plan.having, out):
+                out[agg.name] = finalise_accumulator(agg, accumulator)
+            if having is None or having(out):
                 yield out
 
     def _sort(self, plan: qplan.Sort) -> Iterator[Row]:
         rows = list(self.iterate(plan.child))
         # Stable sorts applied from the least-significant key to the most
-        # significant one implement multi-key ASC/DESC ordering.
+        # significant one implement multi-key ASC/DESC ordering.  Each pass is
+        # decorate-sort-undecorate: the key column is computed once per row
+        # instead of O(n log n) times inside the comparator.
         for expr, order in reversed(plan.keys):
-            rows.sort(key=lambda row: evaluate(expr, row), reverse=(order == "desc"))
+            key_fn = compile_row(expr)
+            keys = [key_fn(row) for row in rows]
+            permutation = sorted(range(len(rows)), key=keys.__getitem__,
+                                 reverse=(order == "desc"))
+            rows = [rows[i] for i in permutation]
         return iter(rows)
 
     def _limit(self, plan: qplan.Limit) -> Iterator[Row]:
@@ -208,60 +231,56 @@ class VolcanoEngine:
             count += 1
             yield row
 
-    # ------------------------------------------------------------------
-    # Helpers
-    # ------------------------------------------------------------------
-    def _residual_ok(self, plan: qplan.HashJoin, left_row: Row, right_row: Row) -> bool:
-        if plan.residual is None:
-            return True
-        return bool(evaluate(plan.residual, {**left_row, **right_row},
-                             left=left_row, right=right_row))
 
-    def _nl_predicate_ok(self, plan: qplan.NestedLoopJoin, left_row: Row, right_row: Row) -> bool:
-        if plan.predicate is None:
-            return True
-        return bool(evaluate(plan.predicate, {**left_row, **right_row},
-                             left=left_row, right=right_row))
-
-
-def _initial_accumulator(agg: qplan.AggSpec):
+# ---------------------------------------------------------------------------
+# Aggregate accumulators (row-at-a-time folding).
+#
+# The vectorized engine folds whole gathered value columns instead
+# (`repro.engine.vectorized._final_value`); the two must stay value-identical
+# — the all-22-query parity tests run both engines against each other, so a
+# semantic change here must be mirrored there (and vice versa).
+# ---------------------------------------------------------------------------
+def initial_accumulator(agg: qplan.AggSpec):
     if agg.kind in ("sum", "count"):
         return 0
     if agg.kind == "avg":
         return (0.0, 0)
     if agg.kind == "count_distinct":
-        return 0
+        return set()
     return None  # min / max start undefined
 
 
-def _fold_accumulator(agg: qplan.AggSpec, accumulator, row: Row, distinct_set):
-    if agg.kind == "count":
+def fold_value(agg: qplan.AggSpec, accumulator, value):
+    """Fold one input value into an accumulator (``value`` is the evaluated
+    argument expression, or ``None`` for ``count(*)``)."""
+    kind = agg.kind
+    if kind == "count":
         if agg.expr is None:
             return accumulator + 1
-        value = evaluate(agg.expr, row)
         return accumulator + (0 if value is None else 1)
-    value = evaluate(agg.expr, row)
     if value is None:
         return accumulator
-    if agg.kind == "sum":
+    if kind == "sum":
         return accumulator + value
-    if agg.kind == "avg":
+    if kind == "avg":
         total, count = accumulator
         return (total + value, count + 1)
-    if agg.kind == "min":
+    if kind == "min":
         return value if accumulator is None or value < accumulator else accumulator
-    if agg.kind == "max":
+    if kind == "max":
         return value if accumulator is None or value > accumulator else accumulator
-    if agg.kind == "count_distinct":
-        distinct_set.add(value)
-        return len(distinct_set)
-    raise VolcanoError(f"unknown aggregate {agg.kind!r}")
+    if kind == "count_distinct":
+        accumulator.add(value)
+        return accumulator
+    raise VolcanoError(f"unknown aggregate {kind!r}")
 
 
-def _finalise_accumulator(agg: qplan.AggSpec, accumulator):
+def finalise_accumulator(agg: qplan.AggSpec, accumulator):
     if agg.kind == "avg":
         total, count = accumulator
         return total / count if count else None
+    if agg.kind == "count_distinct":
+        return len(accumulator)
     return accumulator
 
 

@@ -47,6 +47,24 @@ from .pipeline import DslStack
 #: The configuration names, in the order Table 3 reports them.
 CONFIG_NAMES = ("dblab-2", "dblab-3", "dblab-4", "dblab-5", "tpch-compliant")
 
+#: Engines that execute QPlan trees directly, without a DSL stack.  They are
+#: selectable everywhere a stack configuration is (benchmark harness, Table 3
+#: engine column): the row-at-a-time Volcano interpreter and the vectorized
+#: columnar engine (batch-at-a-time, selection vectors, compiled expression
+#: closures).
+DIRECT_ENGINE_NAMES = ("interpreter", "vectorized")
+
+
+def build_direct_engine(name: str, catalog):
+    """Instantiate one of the non-stack execution engines against a catalog."""
+    if name == "interpreter":
+        from ..engine.volcano import VolcanoEngine
+        return VolcanoEngine(catalog)
+    if name == "vectorized":
+        from ..engine.vectorized import VectorizedEngine
+        return VectorizedEngine(catalog)
+    raise KeyError(f"unknown direct engine {name!r}; known: {DIRECT_ENGINE_NAMES}")
+
 
 @dataclass
 class StackConfig:

@@ -26,6 +26,12 @@ class TestHarness:
         assert compiled.compile_seconds > 0
         assert compiled.rows == te.rows
 
+    def test_measure_vectorized_matches_interpreter(self, harness):
+        interp = harness.measure("Q6", "interpreter")
+        vectorized = harness.measure("Q6", "vectorized")
+        assert vectorized.engine == "vectorized"
+        assert vectorized.rows == interp.rows
+
     def test_unknown_engine_rejected(self, harness):
         with pytest.raises(KeyError):
             harness.measure("Q6", "quantum-engine")

@@ -1,0 +1,125 @@
+"""Tests for the compiled-query cache and plan fingerprints."""
+import pytest
+
+from repro.codegen.compiler import QueryCompiler
+from repro.dsl import qplan as Q
+from repro.dsl.expr import col
+from repro.stack.configs import build_config
+from repro.tpch.dbgen import generate_catalog
+
+
+def _plan():
+    return Q.Agg(
+        Q.HashJoin(Q.Select(Q.Scan("R"), col("r_name") == "R1"),
+                   Q.Scan("S"), col("r_sid"), col("s_rid")),
+        [], [Q.AggSpec("count", None, "n")])
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    QueryCompiler.clear_cache()
+    yield
+    QueryCompiler.clear_cache()
+
+
+class TestPlanFingerprint:
+    def test_structurally_equal_plans_share_a_fingerprint(self):
+        assert Q.plan_fingerprint(_plan()) == Q.plan_fingerprint(_plan())
+
+    def test_fingerprint_changes_with_any_component(self):
+        base = _plan()
+        variants = [
+            Q.Limit(base, 10),
+            Q.Agg(base.child, [], [Q.AggSpec("count", None, "m")]),
+            Q.Agg(base.child, [], [Q.AggSpec("sum", col("s_val"), "n")]),
+            Q.Agg(Q.HashJoin(Q.Select(Q.Scan("R"), col("r_name") == "R2"),
+                             Q.Scan("S"), col("r_sid"), col("s_rid")),
+                  [], [Q.AggSpec("count", None, "n")]),
+        ]
+        prints = {Q.plan_fingerprint(p) for p in [base] + variants}
+        assert len(prints) == len(variants) + 1
+
+    def test_scan_field_pruning_changes_fingerprint(self):
+        assert Q.plan_fingerprint(Q.Scan("R")) != \
+            Q.plan_fingerprint(Q.Scan("R", fields=("r_id",)))
+
+    def test_sort_direction_changes_fingerprint(self):
+        asc = Q.Sort(Q.Scan("R"), [(col("r_id"), "asc")])
+        desc = Q.Sort(Q.Scan("R"), [(col("r_id"), "desc")])
+        assert Q.plan_fingerprint(asc) != Q.plan_fingerprint(desc)
+
+
+class TestCompiledQueryCache:
+    def test_second_compile_skips_the_dsl_stack(self, tiny_catalog):
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        stack_runs = []
+        original = config.stack.compile
+
+        def counting_compile(*args, **kwargs):
+            stack_runs.append(1)
+            return original(*args, **kwargs)
+
+        config.stack.compile = counting_compile
+        try:
+            first = compiler.compile(_plan(), tiny_catalog, "q")
+            second = compiler.compile(_plan(), tiny_catalog, "q")
+        finally:
+            config.stack.compile = original
+
+        assert len(stack_runs) == 1
+        assert not first.cache_hit and second.cache_hit
+        assert QueryCompiler.cache_stats.hits == 1
+        assert QueryCompiler.cache_stats.misses == 1
+        assert second.source == first.source
+        assert second.run(tiny_catalog) == first.run(tiny_catalog)
+
+    def test_cached_copy_has_independent_prepared_state(self, tiny_catalog):
+        config = build_config("dblab-4")
+        compiler = QueryCompiler(config.stack, config.flags)
+        first = compiler.compile(_plan(), tiny_catalog, "q")
+        first.prepare(tiny_catalog)
+        second = compiler.compile(_plan(), tiny_catalog, "q")
+        assert second._aux is None  # lazily re-prepared against its catalog
+        assert second.run(tiny_catalog) == first.run(tiny_catalog)
+
+    def test_different_configuration_misses(self, tiny_catalog):
+        five = build_config("dblab-5")
+        compliant = build_config("tpch-compliant")
+        QueryCompiler(five.stack, five.flags).compile(_plan(), tiny_catalog, "q")
+        other = QueryCompiler(compliant.stack, compliant.flags).compile(
+            _plan(), tiny_catalog, "q")
+        assert not other.cache_hit
+        assert QueryCompiler.cache_stats.misses == 2
+
+    def test_different_plan_misses(self, tiny_catalog):
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        compiler.compile(_plan(), tiny_catalog, "q")
+        other = compiler.compile(Q.Select(Q.Scan("R"), col("r_id") > 1),
+                                 tiny_catalog, "q")
+        assert not other.cache_hit
+
+    def test_different_catalog_misses(self):
+        # Identical plan, config, flags and name: only the catalog differs,
+        # so this isolates the catalog component of the cache key.
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        catalog_a = generate_catalog(scale_factor=0.0005, seed=7)
+        catalog_b = generate_catalog(scale_factor=0.0005, seed=7)
+        plan = Q.Agg(Q.Scan("lineitem", fields=("l_quantity",)), [],
+                     [Q.AggSpec("sum", col("l_quantity"), "total")])
+        first = compiler.compile(plan, catalog_a, "q")
+        second = compiler.compile(plan, catalog_b, "q")
+        assert not first.cache_hit
+        assert not second.cache_hit
+        assert QueryCompiler.cache_stats.misses == 2
+
+    def test_clear_cache_resets(self, tiny_catalog):
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        compiler.compile(_plan(), tiny_catalog, "q")
+        assert QueryCompiler.cache_len() == 1
+        QueryCompiler.clear_cache()
+        assert QueryCompiler.cache_len() == 0
+        assert QueryCompiler.cache_stats.misses == 0
