@@ -14,16 +14,21 @@ import pytest
 
 from conftest import BENCH_QUERIES
 
+from repro.bench.harness import PLAN_MODES
+
 ENGINES = ("interpreter", "template-expander", "vectorized", "dblab-2", "dblab-3",
            "dblab-4", "dblab-5", "tpch-compliant")
 
 
+@pytest.mark.parametrize("mode", PLAN_MODES)
 @pytest.mark.parametrize("engine", ENGINES)
 @pytest.mark.parametrize("query_name", BENCH_QUERIES)
-def test_table3_cell(benchmark, harness, query_name, engine):
+def test_table3_cell(benchmark, harness, query_name, engine, mode):
     """Time one Table 3 cell: query execution only (compilation not included)."""
     from repro.tpch.queries import build_query
     plan = build_query(query_name)
+    if mode == "planned":
+        plan = harness.planner.optimize(plan)
 
     if engine == "interpreter":
         from repro.engine.volcano import VolcanoEngine
@@ -45,6 +50,7 @@ def test_table3_cell(benchmark, harness, query_name, engine):
     rows = benchmark.pedantic(run, rounds=3, iterations=1, warmup_rounds=1)
     benchmark.extra_info["query"] = query_name
     benchmark.extra_info["engine"] = engine
+    benchmark.extra_info["plan_mode"] = mode
     benchmark.extra_info["rows"] = len(rows)
     assert isinstance(rows, list)
 
@@ -58,6 +64,26 @@ def test_table3_shape_vectorized(harness):
         interp = per_engine["interpreter"].run_seconds
         vectorized = per_engine["vectorized"].run_seconds
         assert vectorized < interp, f"{query_name}: vectorized slower than interpreted"
+
+
+def test_table3_shape_planner_speedup_vectorized():
+    """The acceptance claim of the logical planner: on the join-heavy queries
+    Q3, Q5 and Q10 at sf 0.01, pushdown + scan pruning make the optimized
+    plan measurably faster than the raw plan on the vectorized engine."""
+    from repro.bench.harness import BenchmarkHarness
+    from repro.tpch.dbgen import generate_catalog
+
+    catalog = generate_catalog(scale_factor=0.01, seed=20160626)
+    harness = BenchmarkHarness(catalog, repetitions=3)
+    results = harness.table3_planner(queries=["Q3", "Q5", "Q10"],
+                                     engines=["vectorized"])
+    for query_name, per_engine in results.items():
+        raw = per_engine["vectorized"]["raw"]
+        planned = per_engine["vectorized"]["planned"]
+        assert planned.rows == raw.rows, f"{query_name}: row count changed"
+        assert planned.run_seconds < raw.run_seconds, \
+            f"{query_name}: planned {planned.run_millis:.1f}ms not faster " \
+            f"than raw {raw.run_millis:.1f}ms"
 
 
 def test_table3_shape_claims(harness):

@@ -1,0 +1,66 @@
+"""Planner benchmark smoke run: optimized-vs-raw plan times, written to JSON.
+
+A small standalone driver (no pytest) used by CI and by hand::
+
+    PYTHONPATH=src python benchmarks/planner_smoke.py \
+        --queries Q3 Q6 --engines interpreter vectorized \
+        --out BENCH_planner_smoke.json
+
+It builds a TPC-H catalog at ``--scale-factor`` (or ``REPRO_BENCH_SF``),
+runs every requested query under every requested engine on both the raw and
+the planner-optimized plan, prints the comparison table and writes the full
+measurement grid as a ``BENCH_*.json`` artifact.  The run fails (exit code 1)
+if any optimized plan returns a different row count than its raw plan — a
+cheap end-to-end guard on top of the parity test suite.
+"""
+from __future__ import annotations
+
+import argparse
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", nargs="+", default=["Q3", "Q6"],
+                        help="TPC-H query names (default: Q3 Q6)")
+    parser.add_argument("--engines", nargs="+",
+                        default=["interpreter", "vectorized"],
+                        help="engine names (default: interpreter vectorized)")
+    parser.add_argument("--scale-factor", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SF", "0.002")),
+                        help="TPC-H scale factor (default: REPRO_BENCH_SF or 0.002)")
+    parser.add_argument("--repetitions", type=int, default=1,
+                        help="timing repetitions per cell (default: 1)")
+    parser.add_argument("--seed", type=int, default=20160626)
+    parser.add_argument("--out", default="BENCH_planner_smoke.json",
+                        help="output JSON path (default: BENCH_planner_smoke.json)")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import BenchmarkHarness
+    from repro.tpch.dbgen import generate_catalog
+
+    catalog = generate_catalog(scale_factor=args.scale_factor, seed=args.seed)
+    harness = BenchmarkHarness(catalog, repetitions=args.repetitions)
+    results = harness.table3_planner(queries=args.queries, engines=args.engines)
+
+    print(harness.format_planner_table(results))
+    harness.write_planner_json(results, args.out,
+                               scale_factor=args.scale_factor, seed=args.seed,
+                               repetitions=args.repetitions)
+    print(f"wrote {args.out}")
+
+    mismatches = [
+        f"{query}/{engine}: raw={pair['raw'].rows} planned={pair['planned'].rows}"
+        for query, per_engine in results.items()
+        for engine, pair in per_engine.items()
+        if pair["raw"].rows != pair["planned"].rows]
+    if mismatches:
+        print("row-count mismatches between raw and planned plans:",
+              *mismatches, sep="\n  ", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

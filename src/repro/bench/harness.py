@@ -9,6 +9,11 @@ the measurements behind the paper's tables and figures:
 * **Figure 9** — compilation time split into DSL-stack code generation and
   Python compilation (the CLang stand-in).
 
+A *planner mode* extends the Table-3 grid with an optimized-vs-raw plan
+dimension: ``use_planner=True`` times logically-optimized plans everywhere,
+and :meth:`BenchmarkHarness.table3_planner` measures both variants side by
+side (``format_planner_table`` / ``write_planner_json`` report them).
+
 Absolute numbers are not comparable to the paper's C implementation on a Xeon
 server; the claims being reproduced are the *relative* ones (who wins, the
 size of the jump when the data-structure-aware level is added, and that extra
@@ -16,13 +21,16 @@ levels never hurt).
 """
 from __future__ import annotations
 
+import json
 import time
 import tracemalloc
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
 
 from ..codegen.compiler import CompiledQuery, QueryCompiler
+from ..dsl import qplan as Q
 from ..engine.template_expander import TemplateExpander
+from ..planner import Planner, PlannerOptions
 from ..stack.configs import (CONFIG_NAMES, DIRECT_ENGINE_NAMES, StackConfig,
                              build_config, build_direct_engine)
 from ..storage.catalog import Catalog
@@ -30,6 +38,9 @@ from ..tpch.queries import QUERY_NAMES, build_query
 
 #: every engine the harness knows how to run, in reporting order
 ENGINE_NAMES = DIRECT_ENGINE_NAMES + ("template-expander",) + CONFIG_NAMES
+
+#: the two plan modes of the planner comparison benchmarks
+PLAN_MODES = ("raw", "planned")
 
 
 @dataclass
@@ -44,6 +55,7 @@ class Measurement:
     compile_seconds: float = 0.0
     prepare_seconds: float = 0.0
     peak_memory_bytes: int = 0
+    plan_mode: str = "raw"
 
     @property
     def run_millis(self) -> float:
@@ -54,10 +66,14 @@ class BenchmarkHarness:
     """Runs queries under the different engines and collects measurements."""
 
     def __init__(self, catalog: Catalog, repetitions: int = 3,
-                 engines: Sequence[str] = ENGINE_NAMES) -> None:
+                 engines: Sequence[str] = ENGINE_NAMES,
+                 use_planner: bool = False,
+                 planner_options: Optional[PlannerOptions] = None) -> None:
         self.catalog = catalog
         self.repetitions = max(1, repetitions)
         self.engines = tuple(engines)
+        self.use_planner = use_planner
+        self.planner = Planner(catalog, planner_options)
         self._configs: Dict[str, StackConfig] = {
             name: build_config(name) for name in self.engines if name in CONFIG_NAMES}
         self._compiled_cache: Dict[tuple, CompiledQuery] = {}
@@ -66,9 +82,25 @@ class BenchmarkHarness:
     # Single measurements
     # ------------------------------------------------------------------
     def measure(self, query_name: str, engine: str, plan=None,
-                measure_memory: bool = False) -> Measurement:
-        """Run one query under one engine and return its measurement."""
+                measure_memory: bool = False,
+                optimize: Optional[bool] = None) -> Measurement:
+        """Run one query under one engine and return its measurement.
+
+        ``optimize`` runs the logical planner over the plan first (defaults
+        to the harness-wide ``use_planner`` setting); the measurement's
+        ``plan_mode`` records which plan was timed.
+        """
         plan = plan if plan is not None else build_query(query_name)
+        optimize = self.use_planner if optimize is None else optimize
+        if optimize:
+            plan = self.planner.optimize(plan)
+        plan_mode = "planned" if optimize else "raw"
+        measurement = self._dispatch(query_name, engine, plan, measure_memory)
+        measurement.plan_mode = plan_mode
+        return measurement
+
+    def _dispatch(self, query_name: str, engine: str, plan,
+                  measure_memory: bool) -> Measurement:
         if engine in DIRECT_ENGINE_NAMES:
             runner = build_direct_engine(engine, self.catalog)
             return self._measure_callable(
@@ -97,7 +129,10 @@ class BenchmarkHarness:
         raise KeyError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
 
     def _compiled(self, query_name: str, engine: str, plan) -> CompiledQuery:
-        key = (query_name, engine)
+        # The key includes the plan fingerprint so that raw and
+        # planner-optimized variants of one query compile separately.
+        key = (query_name, engine,
+               Q.plan_fingerprint(plan) if isinstance(plan, Q.Operator) else None)
         if key not in self._compiled_cache:
             config = self._configs[engine]
             compiler = QueryCompiler(config.stack, config.flags)
@@ -146,6 +181,77 @@ class BenchmarkHarness:
             for engine in engines:
                 results[query_name][engine] = self.measure(query_name, engine, plan)
         return results
+
+    def table3_planner(self, queries: Optional[Sequence[str]] = None,
+                       engines: Optional[Sequence[str]] = None
+                       ) -> Dict[str, Dict[str, Dict[str, Measurement]]]:
+        """Optimized-vs-raw execution times for every engine.
+
+        Returns ``{query: {engine: {"raw": Measurement, "planned":
+        Measurement}}}`` — the Table-3 grid with one extra dimension, showing
+        what the logical planner buys each engine on each query.
+        """
+        queries = list(queries) if queries is not None else list(QUERY_NAMES)
+        engines = list(engines) if engines is not None else list(self.engines)
+        results: Dict[str, Dict[str, Dict[str, Measurement]]] = {}
+        for query_name in queries:
+            raw_plan = build_query(query_name)
+            planned_plan = self.planner.optimize(build_query(query_name))
+            results[query_name] = {}
+            for engine in engines:
+                results[query_name][engine] = {
+                    "raw": self.measure(query_name, engine, raw_plan,
+                                        optimize=False),
+                    "planned": self.measure(query_name, engine, planned_plan,
+                                            optimize=False),
+                }
+                results[query_name][engine]["planned"].plan_mode = "planned"
+        return results
+
+    @staticmethod
+    def format_planner_table(results: Dict[str, Dict[str, Dict[str, Measurement]]]) -> str:
+        """Render the planner comparison as fixed-width text (ms + speedup)."""
+        if not results:
+            return "(no results)"
+        engines = list(next(iter(results.values())).keys())
+        header = ["Query"] + [f"{e} raw/planned" for e in engines]
+        widths = [max(8, len(h) + 2) for h in header]
+        lines = ["".join(h.ljust(w) for h, w in zip(header, widths))]
+        for query_name, per_engine in results.items():
+            cells = [query_name]
+            for engine in engines:
+                pair = per_engine[engine]
+                raw, planned = pair["raw"], pair["planned"]
+                speedup = (raw.run_seconds / planned.run_seconds
+                           if planned.run_seconds else float("inf"))
+                cells.append(f"{raw.run_millis:.1f}/{planned.run_millis:.1f} "
+                             f"({speedup:.2f}x)")
+            lines.append("".join(c.ljust(w) for c, w in zip(cells, widths)))
+        return "\n".join(lines)
+
+    @staticmethod
+    def planner_results_to_json(results: Dict[str, Dict[str, Dict[str, Measurement]]],
+                                **meta: Any) -> Dict[str, Any]:
+        """JSON-serializable form of a ``table3_planner`` result grid."""
+        payload: Dict[str, Any] = {"meta": dict(meta), "queries": {}}
+        for query_name, per_engine in results.items():
+            payload["queries"][query_name] = {}
+            for engine, pair in per_engine.items():
+                raw, planned = pair["raw"], pair["planned"]
+                payload["queries"][query_name][engine] = {
+                    "raw": asdict(raw),
+                    "planned": asdict(planned),
+                    "speedup": (raw.run_seconds / planned.run_seconds
+                                if planned.run_seconds else None),
+                }
+        return payload
+
+    @classmethod
+    def write_planner_json(cls, results, path: str, **meta: Any) -> None:
+        """Write a ``table3_planner`` result grid to a JSON file."""
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(cls.planner_results_to_json(results, **meta), handle,
+                      indent=2, sort_keys=True)
 
     def figure8_memory(self, queries: Optional[Sequence[str]] = None,
                        engine: str = "dblab-5") -> Dict[str, Measurement]:

@@ -131,7 +131,17 @@ class QueryCompiler:
         if isinstance(plan, M.QueryMonad):
             source = QMONAD
         elif isinstance(plan, Q.Operator):
-            Q.validate(plan, catalog)
+            if self.flags.logical_plan_optimizer:
+                # The logical optimizer runs before the cache key is computed,
+                # so the cache is keyed on the *optimized* plan fingerprint:
+                # two differently-written plans that optimize to the same tree
+                # share one compiled query.  The shared per-catalog planner
+                # validates both the raw and the optimized plan and memoizes
+                # by raw fingerprint, keeping repeated compiles cheap.
+                from ..planner import Planner
+                plan = Planner.for_catalog(catalog).optimize(plan)
+            else:
+                Q.validate(plan, catalog)
             source = QPLAN
         else:
             raise CompilerError(

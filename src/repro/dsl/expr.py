@@ -294,12 +294,30 @@ def and_all(predicates: Sequence[Expr]) -> Expr:
 def columns_used(expr: Expr, side: Optional[str] = None) -> List[str]:
     """Column names referenced by an expression (optionally filtered by side)."""
     found: List[str] = []
+    for name, col_side in columns_used_with_sides(expr):
+        if side is None or col_side == side or col_side is None:
+            if name not in found:
+                found.append(name)
+    return found
+
+
+def columns_used_with_sides(expr: Expr) -> List[Tuple[str, Optional[str]]]:
+    """``(name, side)`` pairs of every column reference in an expression.
+
+    Unlike :func:`columns_used` this keeps the side annotation of each
+    reference, which join-predicate validation and the plan optimizer need to
+    resolve a column against the correct join input.  Duplicates are removed
+    while preserving first-occurrence order.
+    """
+    found: List[Tuple[str, Optional[str]]] = []
+    seen: set = set()
 
     def visit(node: Expr) -> None:
         if isinstance(node, Col):
-            if side is None or node.side == side or node.side is None:
-                if node.name not in found:
-                    found.append(node.name)
+            key = (node.name, node.side)
+            if key not in seen:
+                seen.add(key)
+                found.append(key)
         elif isinstance(node, BinOp):
             visit(node.left)
             visit(node.right)

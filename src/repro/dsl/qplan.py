@@ -19,7 +19,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field, replace
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .expr import Col, Expr, ExprError, columns_used, wrap
+from .expr import Col, Expr, ExprError, columns_used, columns_used_with_sides, wrap
 
 
 class PlanError(Exception):
@@ -287,32 +287,42 @@ def tables_used(plan: Operator) -> List[str]:
     return tables
 
 
-def output_fields(plan: Operator, catalog) -> List[str]:
-    """Output column names of a plan node (requires the catalog for scans)."""
+def output_fields(plan: Operator, catalog,
+                  memo: Optional[Dict[int, List[str]]] = None) -> List[str]:
+    """Output column names of a plan node (requires the catalog for scans).
+
+    ``memo`` is an optional per-node cache keyed by ``id(node)``.  One
+    validation (or optimization) pass over a plan asks for the fields of the
+    same subtrees at every enclosing level; threading a memo dictionary
+    through turns that from quadratic into linear work.  The memo is only
+    valid while the plan tree is not mutated and stays alive, so callers
+    create one per pass and drop it afterwards.
+    """
+    if memo is not None:
+        cached = memo.get(id(plan))
+        if cached is not None:
+            return cached
+    result = _output_fields(plan, catalog, memo)
+    if memo is not None:
+        memo[id(plan)] = result
+    return result
+
+
+def _output_fields(plan: Operator, catalog,
+                   memo: Optional[Dict[int, List[str]]]) -> List[str]:
     if isinstance(plan, Scan):
         if plan.fields is not None:
             return list(plan.fields)
         return catalog.schema.table(plan.table).column_names()
     if isinstance(plan, (Select, Limit, Sort)):
-        return output_fields(plan.child, catalog)
+        return output_fields(plan.child, catalog, memo)
     if isinstance(plan, Project):
         return [name for name, _ in plan.projections]
-    if isinstance(plan, HashJoin):
-        left = output_fields(plan.left, catalog)
+    if isinstance(plan, (HashJoin, NestedLoopJoin)):
+        left = output_fields(plan.left, catalog, memo)
         if plan.kind in ("leftsemi", "leftanti"):
             return left
-        right = output_fields(plan.right, catalog)
-        overlap = set(left) & set(right)
-        if overlap:
-            raise PlanError(
-                f"join would produce duplicate column names {sorted(overlap)}; "
-                "rename with a Project before joining")
-        return left + right
-    if isinstance(plan, NestedLoopJoin):
-        left = output_fields(plan.left, catalog)
-        if plan.kind in ("leftsemi", "leftanti"):
-            return left
-        right = output_fields(plan.right, catalog)
+        right = output_fields(plan.right, catalog, memo)
         overlap = set(left) & set(right)
         if overlap:
             raise PlanError(
@@ -371,25 +381,45 @@ def _plan_canonical(plan: Operator) -> str:
 
 
 def validate(plan: Operator, catalog) -> None:
-    """Check that every expression only references columns available to it."""
-    def check(node: Operator) -> List[str]:
-        fields = output_fields(node, catalog)
+    """Check that every expression only references columns available to it.
+
+    Join predicates that see both inputs — ``HashJoin.residual`` and
+    ``NestedLoopJoin.predicate`` — are checked against the combined left+right
+    fields, with sided column references resolved against the matching input.
+    Child field lists are memoized per node for the duration of the pass, so
+    validation is linear in the size of the plan.
+    """
+    memo: Dict[int, List[str]] = {}
+
+    def fields_of(node: Operator) -> List[str]:
+        return output_fields(node, catalog, memo)
+
+    def check(node: Operator) -> None:
+        fields = fields_of(node)
         if isinstance(node, Scan):
             table_columns = set(catalog.schema.table(node.table).column_names())
             unknown = set(fields) - table_columns
             if unknown:
                 raise PlanError(f"scan of {node.table!r} selects unknown columns {sorted(unknown)}")
         if isinstance(node, Select):
-            _require(columns_used(node.predicate), output_fields(node.child, catalog), node)
+            _require(columns_used(node.predicate), fields_of(node.child), node)
         if isinstance(node, Project):
-            child_fields = output_fields(node.child, catalog)
+            child_fields = fields_of(node.child)
             for _, expr in node.projections:
                 _require(columns_used(expr), child_fields, node)
         if isinstance(node, HashJoin):
-            _require(columns_used(node.left_key), output_fields(node.left, catalog), node)
-            _require(columns_used(node.right_key), output_fields(node.right, catalog), node)
+            left_fields = fields_of(node.left)
+            right_fields = fields_of(node.right)
+            _require(columns_used(node.left_key), left_fields, node)
+            _require(columns_used(node.right_key), right_fields, node)
+            if node.residual is not None:
+                _require_sided(node.residual, left_fields, right_fields, node)
+        if isinstance(node, NestedLoopJoin):
+            if node.predicate is not None:
+                _require_sided(node.predicate, fields_of(node.left),
+                               fields_of(node.right), node)
         if isinstance(node, Agg):
-            child_fields = output_fields(node.child, catalog)
+            child_fields = fields_of(node.child)
             for _, expr in node.group_keys:
                 _require(columns_used(expr), child_fields, node)
             for agg in node.aggregates:
@@ -398,12 +428,11 @@ def validate(plan: Operator, catalog) -> None:
             if node.having is not None:
                 _require(columns_used(node.having), fields, node)
         if isinstance(node, Sort):
-            child_fields = output_fields(node.child, catalog)
+            child_fields = fields_of(node.child)
             for expr, _ in node.keys:
                 _require(columns_used(expr), child_fields, node)
         for child in node.children():
             check(child)
-        return fields
 
     check(plan)
 
@@ -414,3 +443,25 @@ def _require(columns: Sequence[str], available: Sequence[str], node: Operator) -
         raise PlanError(
             f"{node.describe()}: references unavailable columns {missing}; "
             f"available: {sorted(available)}")
+
+
+def _require_sided(expr: Expr, left: Sequence[str], right: Sequence[str],
+                   node: Operator) -> None:
+    """Check a two-input join predicate: ``side='left'`` references must come
+    from the left input, ``side='right'`` from the right input, and unsided
+    references from the union (the engines resolve those right-shadows-left)."""
+    left_set, right_set = set(left), set(right)
+    missing = []
+    for name, side in columns_used_with_sides(expr):
+        if side == "left":
+            if name not in left_set:
+                missing.append(f"{name} (left)")
+        elif side == "right":
+            if name not in right_set:
+                missing.append(f"{name} (right)")
+        elif name not in left_set and name not in right_set:
+            missing.append(name)
+    if missing:
+        raise PlanError(
+            f"{node.describe()}: join predicate references unavailable columns "
+            f"{missing}; left: {sorted(left_set)}; right: {sorted(right_set)}")

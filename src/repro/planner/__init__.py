@@ -1,0 +1,38 @@
+"""Plan-level logical optimizer (the highest transformation layer).
+
+A rule-based rewrite framework over :mod:`repro.dsl.qplan` operator trees,
+mirroring the fixpoint organization of the DSL stack one level up: predicate
+pushdown, field pruning, constant folding, nested-loop-to-hash-join
+conversion and (opt-in) statistics-driven join-strategy selection.
+
+Entry points:
+
+* :class:`Planner` / :func:`optimize_plan` — optimize a plan against a
+  catalog,
+* :class:`PlannerOptions` — choose the rule set (the default set preserves
+  row order and float accumulation order exactly),
+* :meth:`Planner.explain` — before/after trees plus the applied-rule log.
+"""
+from .cardinality import CardinalityEstimator
+from .planner import Planner, PlannerOptions, PlanReport, optimize_plan
+from .pruning import prune_plan
+from .rewrite import PlannerContext, PlannerError, PlanRule, apply_rules_fixpoint
+from .rules import (BuildSideSwap, ConstantFolding, EquiJoinConversion,
+                    PredicatePushdown)
+
+__all__ = [
+    "BuildSideSwap",
+    "CardinalityEstimator",
+    "ConstantFolding",
+    "EquiJoinConversion",
+    "Planner",
+    "PlannerContext",
+    "PlannerError",
+    "PlannerOptions",
+    "PlanReport",
+    "PlanRule",
+    "PredicatePushdown",
+    "apply_rules_fixpoint",
+    "optimize_plan",
+    "prune_plan",
+]

@@ -1,0 +1,291 @@
+"""Scalar-expression analysis and rewriting used by the plan optimizer.
+
+Everything here is pure tree surgery over :mod:`repro.dsl.expr` nodes:
+conjunct splitting for predicate pushdown, column substitution for pushing
+filters through projections and aggregations, side flipping for join-input
+swaps, and compile-time constant folding.
+
+Folding shares its semantics with the IR-level
+:class:`repro.transforms.partial_eval.PartialEvaluation` pass: only folds
+whose result is guaranteed identical to runtime evaluation are performed, a
+division (or modulo) by a constant zero is *skipped* rather than raised, and
+``TypeError`` / ``ZeroDivisionError`` / ``OverflowError`` during folding
+abandon the fold instead of failing compilation.
+"""
+from __future__ import annotations
+
+import operator
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from .. import dates
+from ..dsl import expr as E
+
+#: binary operators folded when both operands are literals, mirroring the
+#: ``_FOLDABLE`` table of :mod:`repro.transforms.partial_eval`.
+_FOLDABLE_BINOPS: Dict[str, Callable] = {
+    "+": operator.add,
+    "-": operator.sub,
+    "*": operator.mul,
+    "/": operator.truediv,
+    "==": operator.eq,
+    "!=": operator.ne,
+    "<": operator.lt,
+    "<=": operator.le,
+    ">": operator.gt,
+    ">=": operator.ge,
+}
+
+_FOLD_ERRORS = (TypeError, ZeroDivisionError, OverflowError)
+
+
+# ---------------------------------------------------------------------------
+# Conjunctions
+# ---------------------------------------------------------------------------
+def split_conjuncts(expr: E.Expr) -> List[E.Expr]:
+    """Flatten a tree of ``and`` connectives into its conjuncts (in order)."""
+    if isinstance(expr, E.BinOp) and expr.op == "and":
+        return split_conjuncts(expr.left) + split_conjuncts(expr.right)
+    return [expr]
+
+
+def conjoin(conjuncts: Sequence[E.Expr]) -> Optional[E.Expr]:
+    """Rebuild a conjunction; ``None`` for an empty list (no predicate)."""
+    if not conjuncts:
+        return None
+    return E.and_all(list(conjuncts))
+
+
+def is_literal_true(expr: E.Expr) -> bool:
+    return isinstance(expr, E.Lit) and isinstance(expr.value, bool) and expr.value
+
+
+# ---------------------------------------------------------------------------
+# Generic rebuilding
+# ---------------------------------------------------------------------------
+def rewrite_expr(expr: E.Expr, fn: Callable[[E.Expr], Optional[E.Expr]]) -> E.Expr:
+    """Bottom-up rewrite: apply ``fn`` to every node (children first).
+
+    ``fn`` returns a replacement node or ``None`` for "keep".  Untouched
+    subtrees are returned as the *same objects*, so ``result is expr`` is a
+    reliable "nothing changed" test.
+    """
+    rebuilt = _rebuild_children(expr, lambda child: rewrite_expr(child, fn))
+    replacement = fn(rebuilt)
+    return rebuilt if replacement is None else replacement
+
+
+def _rebuild_children(expr: E.Expr, fn: Callable[[E.Expr], E.Expr]) -> E.Expr:
+    if isinstance(expr, (E.Lit, E.Col)):
+        return expr
+    if isinstance(expr, E.BinOp):
+        left, right = fn(expr.left), fn(expr.right)
+        if left is expr.left and right is expr.right:
+            return expr
+        return E.BinOp(expr.op, left, right)
+    if isinstance(expr, E.UnaryOp):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand else E.UnaryOp(expr.op, operand)
+    if isinstance(expr, E.Like):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand else E.Like(operand, expr.pattern)
+    if isinstance(expr, E.InList):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand else E.InList(operand, expr.values)
+    if isinstance(expr, E.Substr):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand \
+            else E.Substr(operand, expr.start, expr.length)
+    if isinstance(expr, E.YearOf):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand else E.YearOf(operand)
+    if isinstance(expr, E.IsNull):
+        operand = fn(expr.operand)
+        return expr if operand is expr.operand else E.IsNull(operand)
+    if isinstance(expr, E.Case):
+        whens = tuple((fn(cond), fn(value)) for cond, value in expr.whens)
+        otherwise = fn(expr.otherwise)
+        unchanged = otherwise is expr.otherwise and all(
+            c is oc and v is ov
+            for (c, v), (oc, ov) in zip(whens, expr.whens))
+        return expr if unchanged else E.Case(whens, otherwise)
+    raise E.ExprError(f"unknown expression node {type(expr).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Column substitution / side handling
+# ---------------------------------------------------------------------------
+def substitute_columns(expr: E.Expr, mapping: Dict[str, E.Expr]) -> E.Expr:
+    """Replace unsided column references by expressions (for pushing a filter
+    below the Project or Agg that computes those columns)."""
+    def subst(node: E.Expr) -> Optional[E.Expr]:
+        if isinstance(node, E.Col) and node.side is None and node.name in mapping:
+            return mapping[node.name]
+        return None
+
+    return rewrite_expr(expr, subst)
+
+
+def flip_sides(expr: E.Expr) -> E.Expr:
+    """Swap ``left``/``right`` side annotations (for join-input swaps)."""
+    def flip(node: E.Expr) -> Optional[E.Expr]:
+        if isinstance(node, E.Col) and node.side is not None:
+            return E.Col(node.name, "right" if node.side == "left" else "left")
+        return None
+
+    return rewrite_expr(expr, flip)
+
+
+def strip_sides(expr: E.Expr) -> E.Expr:
+    """Drop side annotations (for predicates that become single-input keys)."""
+    def strip(node: E.Expr) -> Optional[E.Expr]:
+        if isinstance(node, E.Col) and node.side is not None:
+            return E.Col(node.name)
+        return None
+
+    return rewrite_expr(expr, strip)
+
+
+def classify_columns(expr: E.Expr, left_fields: Sequence[str],
+                     right_fields: Sequence[str]) -> Optional[str]:
+    """Which join input(s) an expression reads: ``'left'``, ``'right'``,
+    ``'both'``, ``'none'`` — or ``None`` when a reference resolves nowhere.
+
+    Unsided references follow the engines' merged-row resolution: the right
+    input shadows the left one.
+    """
+    sides = set()
+    for name, side in E.columns_used_with_sides(expr):
+        if side == "left":
+            resolved = "left" if name in left_fields else None
+        elif side == "right":
+            resolved = "right" if name in right_fields else None
+        elif name in right_fields:
+            resolved = "right"
+        elif name in left_fields:
+            resolved = "left"
+        else:
+            resolved = None
+        if resolved is None:
+            return None
+        sides.add(resolved)
+    if not sides:
+        return "none"
+    if len(sides) == 2:
+        return "both"
+    return sides.pop()
+
+
+# ---------------------------------------------------------------------------
+# Constant folding
+# ---------------------------------------------------------------------------
+def fold_constants(expr: E.Expr) -> E.Expr:
+    """Fold every subtree whose operands are all literals.
+
+    Each fold is value-identical to :func:`repro.dsl.expr.evaluate` on the
+    original subtree — including the ``bool()`` coercion of the logical
+    connectives — so folding is safe in *any* expression position.
+    """
+    return rewrite_expr(expr, _fold_node)
+
+
+def _fold_node(node: E.Expr) -> Optional[E.Expr]:
+    if isinstance(node, E.BinOp):
+        left, right = node.left, node.right
+        if node.op in ("and", "or"):
+            if isinstance(left, E.Lit) and isinstance(right, E.Lit):
+                if node.op == "and":
+                    return E.Lit(bool(left.value) and bool(right.value))
+                return E.Lit(bool(left.value) or bool(right.value))
+            return None
+        if isinstance(left, E.Lit) and isinstance(right, E.Lit):
+            if node.op == "/" and right.value in (0, 0.0):
+                return None  # keep the runtime division-by-zero behaviour
+            try:
+                return E.Lit(_FOLDABLE_BINOPS[node.op](left.value, right.value))
+            except _FOLD_ERRORS:
+                return None
+        return None
+    if isinstance(node, E.UnaryOp) and isinstance(node.operand, E.Lit):
+        if node.op == "not":
+            return E.Lit(not node.operand.value)
+        try:
+            return E.Lit(-node.operand.value)
+        except _FOLD_ERRORS:
+            return None
+    if isinstance(node, E.Like) and isinstance(node.operand, E.Lit):
+        try:
+            return E.Lit(node.matches(node.operand.value))
+        except _FOLD_ERRORS:
+            return None
+    if isinstance(node, E.InList) and isinstance(node.operand, E.Lit):
+        try:
+            return E.Lit(node.operand.value in node.values)
+        except _FOLD_ERRORS:
+            return None
+    if isinstance(node, E.Substr) and isinstance(node.operand, E.Lit):
+        try:
+            start = node.start - 1
+            return E.Lit(node.operand.value[start:start + node.length])
+        except _FOLD_ERRORS:
+            return None
+    if isinstance(node, E.YearOf) and isinstance(node.operand, E.Lit):
+        if isinstance(node.operand.value, int):
+            return E.Lit(dates.year_of(node.operand.value))
+        return None
+    if isinstance(node, E.IsNull) and isinstance(node.operand, E.Lit):
+        return E.Lit(node.operand.value is None)
+    if isinstance(node, E.Case):
+        return _fold_case(node)
+    return None
+
+
+def _fold_case(node: E.Case) -> Optional[E.Expr]:
+    """Drop literal-false WHEN branches; commit to a leading literal-true one."""
+    whens: List[Tuple[E.Expr, E.Expr]] = []
+    changed = False
+    for cond, value in node.whens:
+        if isinstance(cond, E.Lit):
+            if not cond.value:
+                changed = True  # branch can never be taken
+                continue
+            if not whens:
+                return value  # first reachable branch always taken
+            # a literal-true condition makes every later branch dead
+            whens.append((cond, value))
+            changed = True
+            break
+        whens.append((cond, value))
+    if not changed:
+        return None
+    if not whens:
+        return node.otherwise
+    return E.Case(tuple(whens), node.otherwise)
+
+
+def simplify_predicate(expr: E.Expr) -> E.Expr:
+    """Truthiness-preserving simplification for *predicate positions only*.
+
+    ``p AND true -> p`` and friends preserve which rows pass a filter but may
+    change the computed value (``true AND 5`` evaluates to ``True``, ``5`` is
+    merely truthy), so this must never run on projection or aggregate
+    arguments — only on Select predicates, join residuals and HAVING clauses.
+    """
+    expr = fold_constants(expr)
+
+    def simplify(node: E.Expr) -> Optional[E.Expr]:
+        if not isinstance(node, E.BinOp) or node.op not in ("and", "or"):
+            return None
+        left, right = node.left, node.right
+        if node.op == "and":
+            if isinstance(left, E.Lit):
+                return right if left.value else E.Lit(False)
+            if isinstance(right, E.Lit):
+                return left if right.value else E.Lit(False)
+        else:
+            if isinstance(left, E.Lit):
+                return E.Lit(True) if left.value else right
+            if isinstance(right, E.Lit):
+                return E.Lit(True) if right.value else left
+        return None
+
+    return rewrite_expr(expr, simplify)

@@ -1,0 +1,180 @@
+"""The logical plan optimizer: rule configuration, driver and reporting.
+
+The planner sits *above* the DSL stack: it rewrites QPlan operator trees
+before any engine — the Volcano interpreter, the vectorized engine, the
+template expander or a compiled stack configuration — consumes them.  In the
+paper's terms it is one more transformation level at the highest abstraction
+layer, organized exactly like the lower ones: small rules applied to a fixed
+point, each at the level where the rewrite is trivial to express.
+
+Default rule set (order- and value-preserving; optimized plans return
+row-identical results on every engine):
+
+1. constant folding over scalar expression trees,
+2. predicate pushdown with conjunct splitting,
+3. equi-predicate extraction (inner nested-loop join -> hash join),
+4. scan field / projection / aggregate pruning.
+
+The statistics-driven ``join_strategy`` rules (build-side swap, greedy join
+reordering) preserve the result multiset but not intermediate row order —
+which also perturbs float aggregation order — so they are opt-in.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..dsl import qplan as Q
+from .cardinality import CardinalityEstimator
+from .pruning import prune_plan
+from .reorder import reorder_join_chains
+from .rewrite import (PlannerContext, PlanRule, apply_rules_fixpoint)
+from .rules import (BuildSideSwap, ConstantFolding, EquiJoinConversion,
+                    PredicatePushdown)
+
+
+@dataclass(frozen=True)
+class PlannerOptions:
+    """Which rules the planner applies.
+
+    The defaults are the exact-parity rule set; ``join_strategy=True`` adds
+    the cost-based build-side swap and greedy join reordering, which keep the
+    result multiset but may change row order and float accumulation order.
+    """
+
+    constant_folding: bool = True
+    predicate_pushdown: bool = True
+    equi_join_conversion: bool = True
+    field_pruning: bool = True
+    join_strategy: bool = False
+    max_iterations: int = 8
+
+    @classmethod
+    def all_rules(cls) -> "PlannerOptions":
+        return cls(join_strategy=True)
+
+    @classmethod
+    def none(cls) -> "PlannerOptions":
+        return cls(constant_folding=False, predicate_pushdown=False,
+                   equi_join_conversion=False, field_pruning=False,
+                   join_strategy=False)
+
+
+@dataclass
+class PlanReport:
+    """What one optimization run did to a plan."""
+
+    before: str
+    after: str
+    applied: List[str]
+    iterations: int
+    reached_fixpoint: bool
+    estimated_rows_before: float
+    estimated_rows_after: float
+
+    @property
+    def changed(self) -> bool:
+        return self.before != self.after
+
+    def summary(self) -> str:
+        fired = ", ".join(self.applied) if self.applied else "(nothing)"
+        return (f"{len(self.applied)} rewrites in {self.iterations} iterations; "
+                f"applied: {fired}")
+
+
+class Planner:
+    """Rule-based logical optimizer for QPlan trees against one catalog.
+
+    Optimization results are memoized per planner by the raw plan's
+    fingerprint, so re-optimizing the same plan (e.g. the query compiler
+    recomputing its cache key on a repeated compile) is a dictionary lookup.
+    """
+
+    def __init__(self, catalog, options: Optional[PlannerOptions] = None) -> None:
+        self.catalog = catalog
+        self.options = options if options is not None else PlannerOptions()
+        self.estimator = CardinalityEstimator(catalog)
+        self._memo: Dict[str, Q.Operator] = {}
+
+    @classmethod
+    def for_catalog(cls, catalog) -> "Planner":
+        """A shared default-options planner for a catalog (memo reused).
+
+        The planner is stored on the catalog object itself, so its lifetime
+        — and that of its memo — is exactly the catalog's lifetime.
+        """
+        planner = getattr(catalog, "_shared_planner", None)
+        if planner is None:
+            planner = cls(catalog)
+            catalog._shared_planner = planner
+        return planner
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def optimize(self, plan: Q.Operator) -> Q.Operator:
+        """Rewrite a plan; the result is validated before it is returned."""
+        fingerprint = Q.plan_fingerprint(plan)
+        cached = self._memo.get(fingerprint)
+        if cached is not None:
+            return cached
+        plan, _ = self._run(plan)
+        self._memo[fingerprint] = plan
+        return plan
+
+    def explain(self, plan: Q.Operator) -> PlanReport:
+        """Optimize and report: before/after trees, applied rules, estimates."""
+        before = plan.tree_repr()
+        rows_before = self.estimator.estimate_rows(plan)
+        optimized, (context, report) = self._run(plan)
+        return PlanReport(
+            before=before,
+            after=optimized.tree_repr(),
+            applied=list(context.applied),
+            iterations=report.iterations,
+            reached_fixpoint=report.reached_fixpoint,
+            estimated_rows_before=rows_before,
+            estimated_rows_after=self.estimator.estimate_rows(optimized),
+        )
+
+    # ------------------------------------------------------------------
+    # Driver
+    # ------------------------------------------------------------------
+    def _rules(self) -> List[PlanRule]:
+        rules: List[PlanRule] = []
+        if self.options.constant_folding:
+            rules.append(ConstantFolding())
+        if self.options.predicate_pushdown:
+            rules.append(PredicatePushdown())
+        if self.options.equi_join_conversion:
+            rules.append(EquiJoinConversion())
+        return rules
+
+    def _run(self, plan: Q.Operator):
+        # Reject malformed input outright: pushdown substitution could
+        # otherwise rewrite an invalid plan into a valid-but-different one.
+        Q.validate(plan, self.catalog)
+        context = PlannerContext(catalog=self.catalog, options=self.options)
+        plan, report = apply_rules_fixpoint(plan, self._rules(), context,
+                                            self.options.max_iterations)
+        if self.options.join_strategy:
+            plan = reorder_join_chains(plan, context, self.estimator)
+            plan, swap_report = apply_rules_fixpoint(
+                plan, [BuildSideSwap(self.estimator)], context,
+                self.options.max_iterations)
+            report.applied.extend(swap_report.applied)
+        if self.options.field_pruning:
+            pruned = prune_plan(plan, self.catalog, prune_projections=True,
+                                prune_aggregates=True)
+            if pruned is not plan:
+                context.record("field-pruning")
+                plan = pruned
+        # An optimizer bug must surface here, not as a wrong answer later.
+        Q.validate(plan, self.catalog)
+        return plan, (context, report)
+
+
+def optimize_plan(plan: Q.Operator, catalog,
+                  options: Optional[PlannerOptions] = None) -> Q.Operator:
+    """Convenience wrapper: optimize one plan with a fresh planner."""
+    return Planner(catalog, options).optimize(plan)

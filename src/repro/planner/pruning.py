@@ -1,0 +1,145 @@
+"""Field pruning: narrow scans (and optionally projections/aggregates) to
+the columns a plan actually uses.
+
+This is the plan-level unused-field removal of the paper's Appendix C,
+factored out of :mod:`repro.transforms.field_removal` so that both clients
+share one implementation:
+
+* the DSL stack's ``UnusedFieldRemoval`` optimization calls it in scan-only
+  mode (its historical behaviour, gated by the ``unused_field_removal``
+  flag), and
+* the logical planner calls it with projection and aggregate pruning enabled
+  as the final pass of :meth:`repro.planner.planner.Planner.optimize`.
+
+Pruning never changes which rows flow through the plan — only which columns
+are materialized — so it is trivially order- and value-preserving.  Nodes
+that need no change are returned as the *same objects*, which keeps plan
+fingerprints stable when there is nothing to prune.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Set
+
+from ..dsl import expr as E
+from ..dsl import qplan as Q
+
+
+def prune_plan(plan: Q.Operator, catalog,
+               required: Optional[Sequence[str]] = None, *,
+               prune_projections: bool = False,
+               prune_aggregates: bool = False) -> Q.Operator:
+    """Prune columns not in ``required`` (default: the plan's own output).
+
+    The top-level output columns are always preserved, so the pruned plan
+    returns rows with exactly the same keys as the original.
+    """
+    memo: Dict[int, List[str]] = {}
+    if required is None:
+        required = Q.output_fields(plan, catalog, memo)
+    pruner = _Pruner(catalog, prune_projections, prune_aggregates, memo)
+    return pruner.prune(plan, set(required))
+
+
+class _Pruner:
+    def __init__(self, catalog, prune_projections: bool, prune_aggregates: bool,
+                 memo: Dict[int, List[str]]) -> None:
+        self.catalog = catalog
+        self.prune_projections = prune_projections
+        self.prune_aggregates = prune_aggregates
+        self.memo = memo
+
+    def fields_of(self, node: Q.Operator) -> List[str]:
+        return Q.output_fields(node, self.catalog, self.memo)
+
+    def prune(self, node: Q.Operator, needed: Set[str]) -> Q.Operator:
+        if isinstance(node, Q.Scan):
+            return self._prune_scan(node, needed)
+        if isinstance(node, Q.Select):
+            child = self.prune(node.child, needed | _expr_columns(node.predicate))
+            return node if child is node.child else Q.Select(child, node.predicate)
+        if isinstance(node, Q.Project):
+            return self._prune_project(node, needed)
+        if isinstance(node, (Q.HashJoin, Q.NestedLoopJoin)):
+            return self._prune_join(node, needed)
+        if isinstance(node, Q.Agg):
+            return self._prune_agg(node, needed)
+        if isinstance(node, Q.Sort):
+            child_needed = set(needed)
+            for expr, _ in node.keys:
+                child_needed |= _expr_columns(expr)
+            child = self.prune(node.child, child_needed)
+            return node if child is node.child else Q.Sort(child, node.keys)
+        if isinstance(node, Q.Limit):
+            child = self.prune(node.child, needed)
+            return node if child is node.child else Q.Limit(child, node.count)
+        raise Q.PlanError(f"unknown operator {type(node).__name__}")
+
+    def _prune_scan(self, node: Q.Scan, needed: Set[str]) -> Q.Scan:
+        table_columns = self.catalog.schema.table(node.table).column_names()
+        current = list(node.fields) if node.fields is not None else table_columns
+        kept = [name for name in current if name in needed]
+        if not kept:
+            # keep at least one column so the scan still drives its loop
+            kept = [current[0]]
+        if kept == current and node.fields is not None:
+            return node
+        if node.fields is None and len(kept) == len(table_columns):
+            return node
+        return Q.Scan(node.table, tuple(kept))
+
+    def _prune_project(self, node: Q.Project, needed: Set[str]) -> Q.Project:
+        projections = node.projections
+        if self.prune_projections:
+            kept = tuple((name, expr) for name, expr in projections if name in needed)
+            if not kept:
+                kept = projections[:1]  # a projection must keep >= 1 column
+            if len(kept) != len(projections):
+                projections = kept
+        child_needed: Set[str] = set()
+        for _, expr in projections:
+            child_needed |= _expr_columns(expr)
+        child = self.prune(node.child, child_needed)
+        if child is node.child and projections is node.projections:
+            return node
+        return Q.Project(child, projections)
+
+    def _prune_join(self, node, needed: Set[str]):
+        left_fields = set(self.fields_of(node.left))
+        right_fields = set(self.fields_of(node.right))
+        if isinstance(node, Q.HashJoin):
+            # residual columns may resolve against either side; requiring them
+            # on both only ever keeps more than strictly necessary
+            extra_left = _expr_columns(node.left_key) | _expr_columns(node.residual)
+            extra_right = _expr_columns(node.right_key) | _expr_columns(node.residual)
+        else:
+            extra_left = extra_right = _expr_columns(node.predicate)
+        left = self.prune(node.left, (needed | extra_left) & left_fields)
+        right = self.prune(node.right, (needed | extra_right) & right_fields)
+        if left is node.left and right is node.right:
+            return node
+        return node.with_children([left, right])
+
+    def _prune_agg(self, node: Q.Agg, needed: Set[str]) -> Q.Agg:
+        aggregates = node.aggregates
+        if self.prune_aggregates:
+            wanted = needed | _expr_columns(node.having)
+            kept = tuple(spec for spec in aggregates if spec.name in wanted)
+            if not kept and aggregates:
+                kept = aggregates[:1]  # not every lowering handles a bare group-by
+            if len(kept) != len(aggregates):
+                aggregates = kept
+        child_needed: Set[str] = set()
+        for _, expr in node.group_keys:
+            child_needed |= _expr_columns(expr)
+        for spec in aggregates:
+            child_needed |= _expr_columns(spec.expr)
+        child = self.prune(node.child, child_needed)
+        if child is node.child and aggregates is node.aggregates:
+            return node
+        return Q.Agg(child, node.group_keys, aggregates, node.having)
+
+
+def _expr_columns(expr: Optional[E.Expr]) -> Set[str]:
+    if expr is None:
+        return set()
+    return set(E.columns_used(expr))

@@ -1,0 +1,138 @@
+"""Rewrite-rule framework for QPlan operator trees.
+
+This is the plan-level sibling of :mod:`repro.stack.transformation`: the DSL
+stack applies IR transformations until a fixed point, the planner applies
+*plan rewrite rules* over :class:`~repro.dsl.qplan.Operator` trees until a
+fixed point.  The drivers share the same shape on purpose — a rule list, a
+structural fingerprint to detect convergence, a hard iteration bound against
+non-terminating rule sets, and a report of what fired.
+
+Rules are node-local: :meth:`PlanRule.apply` looks at one operator (and its
+children, which it may restructure) and returns a rewritten operator or
+``None`` for "no change".  The driver walks the tree top-down so that a
+predicate pushed one level down is immediately reconsidered at its new
+position, letting a single sweep sink a filter through a whole join pipeline.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from ..dsl import qplan as Q
+
+
+class PlannerError(Exception):
+    """A plan rewrite was mis-declared or produced an invalid plan."""
+
+
+@dataclass
+class PlannerContext:
+    """State shared by the rules of one optimization run.
+
+    Attributes:
+        catalog: the schema catalog; rules use it to resolve scan columns.
+        options: the active :class:`~repro.planner.planner.PlannerOptions`.
+        applied: names of the rule applications that changed the plan, in
+            order — the raw material for :meth:`Planner.explain`.
+        field_memo: per-pass ``output_fields`` memo (cleared whenever the
+            tree changes shape, because it is keyed by node identity).
+    """
+
+    catalog: object
+    options: object = None
+    applied: List[str] = field(default_factory=list)
+    field_memo: Dict[int, List[str]] = field(default_factory=dict)
+
+    def fields_of(self, node: Q.Operator) -> List[str]:
+        return Q.output_fields(node, self.catalog, self.field_memo)
+
+    def record(self, rule_name: str) -> None:
+        self.applied.append(rule_name)
+
+    def statistics(self):
+        return getattr(self.catalog, "statistics", None)
+
+
+class PlanRule:
+    """Base class of node-local plan rewrite rules."""
+
+    name: str = "plan-rule"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        """Rewrite ``node`` or return ``None`` when the rule does not apply."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<plan-rule {self.name}>"
+
+
+@dataclass
+class RewriteReport:
+    """What happened while rewriting one plan (mirrors ``FixpointReport``)."""
+
+    iterations: int = 0
+    applied: List[str] = field(default_factory=list)
+    reached_fixpoint: bool = False
+
+
+#: bound on repeated rule applications at a single node within one sweep;
+#: rules make strictly-decreasing progress (merge selects, sink conjuncts),
+#: so a rule that *still* fires beyond this is buggy, not a deep plan.
+_MAX_LOCAL_APPLICATIONS = 1000
+
+
+def rewrite_sweep(plan: Q.Operator, rules: Sequence[PlanRule],
+                  context: PlannerContext) -> Q.Operator:
+    """One top-down sweep: apply every rule at every node (parents first)."""
+    for rule in rules:
+        for _ in range(_MAX_LOCAL_APPLICATIONS):
+            rewritten = rule.apply(plan, context)
+            if rewritten is None:
+                break
+            context.record(rule.name)
+            context.field_memo.clear()
+            plan = rewritten
+        else:
+            # only a rule that keeps firing past the bound is runaway; a
+            # legal plan that needed exactly the bound has reached None here
+            if rule.apply(plan, context) is not None:
+                raise PlannerError(
+                    f"rule {rule.name!r} kept firing at {plan.describe()}; "
+                    "a rewrite rule must reach a local fixed point")
+
+    children = plan.children()
+    if not children:
+        return plan
+    new_children = [rewrite_sweep(child, rules, context) for child in children]
+    if all(new is old for new, old in zip(new_children, children)):
+        return plan
+    context.field_memo.clear()
+    return plan.with_children(new_children)
+
+
+def apply_rules_fixpoint(plan: Q.Operator, rules: Sequence[PlanRule],
+                         context: PlannerContext,
+                         max_iterations: int = 8) -> tuple:
+    """Sweep ``rules`` over the plan until it stops changing.
+
+    Returns ``(plan, report)``.  Like the stack's ``apply_fixpoint``, a hard
+    iteration bound guards against non-terminating rule sets, and hitting the
+    bound is reported (``reached_fixpoint=False``) rather than raised.
+    """
+    report = RewriteReport()
+    if not rules:
+        report.reached_fixpoint = True
+        return plan, report
+
+    previous = Q.plan_fingerprint(plan)
+    for _ in range(max_iterations):
+        report.iterations += 1
+        before = len(context.applied)
+        plan = rewrite_sweep(plan, rules, context)
+        report.applied.extend(context.applied[before:])
+        current = Q.plan_fingerprint(plan)
+        if current == previous:
+            report.reached_fixpoint = True
+            break
+        previous = current
+    return plan, report

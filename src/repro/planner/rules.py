@@ -1,0 +1,333 @@
+"""The logical rewrite rules of the plan optimizer.
+
+Every rule preserves the query result *exactly* — same rows, same values
+(including float accumulation order into aggregates) and same output order on
+every engine — unless its docstring says otherwise.  Order preservation is
+what allows the all-22-query parity suite to compare optimized against raw
+plans with plain ``==`` on the result lists:
+
+* **ConstantFolding** rewrites expressions only, value-identically.
+* **PredicatePushdown** moves conjuncts to positions where the engines filter
+  the same tuples earlier, in ways proven not to change the surviving-row
+  order (see the per-case notes in the class docstring).
+* **EquiJoinConversion** replaces an inner nested-loop join by a hash join
+  whose build/probe orientation reproduces the nested loop's left-major
+  emission order exactly.
+* **BuildSideSwap** (cost-based, opt-in) *does* change intermediate row
+  order: it preserves the result multiset but may perturb float aggregate
+  sums in the last bits and tie order under top-level sorts, which is why the
+  ``join_strategy`` option is off by default.
+"""
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from ..dsl import expr as E
+from ..dsl import qplan as Q
+from .cardinality import CardinalityEstimator
+from .exprs import (classify_columns, conjoin, flip_sides, fold_constants,
+                    is_literal_true, simplify_predicate, split_conjuncts,
+                    strip_sides, substitute_columns)
+from .rewrite import PlanRule, PlannerContext
+
+
+class ConstantFolding(PlanRule):
+    """Fold literal subexpressions in every operator of the plan.
+
+    Shares semantics with the IR-level partial evaluation
+    (:mod:`repro.transforms.partial_eval`): folds are value-identical, and a
+    fold that would raise (``mod``/``div`` by a constant zero, overflow, type
+    mismatch) is skipped rather than performed.  Predicate positions (Select,
+    residuals, HAVING) additionally get truthiness-preserving boolean
+    simplification; a predicate folded to literal ``True`` removes the Select
+    (or residual) entirely.
+    """
+
+    name = "constant-folding"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if isinstance(node, Q.Select):
+            predicate = simplify_predicate(node.predicate)
+            if is_literal_true(predicate):
+                return node.child
+            if predicate is not node.predicate:
+                return Q.Select(node.child, predicate)
+            return None
+        if isinstance(node, Q.Project):
+            projections = tuple((name, fold_constants(expr))
+                                for name, expr in node.projections)
+            if all(new is old for (_, new), (_, old)
+                   in zip(projections, node.projections)):
+                return None
+            return Q.Project(node.child, projections)
+        if isinstance(node, Q.HashJoin):
+            left_key = fold_constants(node.left_key)
+            right_key = fold_constants(node.right_key)
+            residual = node.residual
+            if residual is not None:
+                residual = simplify_predicate(residual)
+                if is_literal_true(residual):
+                    residual = None
+            if (left_key is node.left_key and right_key is node.right_key
+                    and residual is node.residual):
+                return None
+            return Q.HashJoin(node.left, node.right, left_key, right_key,
+                              node.kind, residual)
+        if isinstance(node, Q.NestedLoopJoin):
+            predicate = node.predicate
+            if predicate is None:
+                return None
+            predicate = simplify_predicate(predicate)
+            if is_literal_true(predicate):
+                predicate = None
+            if predicate is node.predicate:
+                return None
+            return Q.NestedLoopJoin(node.left, node.right, predicate, node.kind)
+        if isinstance(node, Q.Agg):
+            group_keys = tuple((name, fold_constants(expr))
+                               for name, expr in node.group_keys)
+            aggregates = tuple(
+                spec if spec.expr is None
+                else self._fold_agg(spec) for spec in node.aggregates)
+            having = node.having
+            if having is not None:
+                having = simplify_predicate(having)
+                if is_literal_true(having):
+                    having = None
+            unchanged = (having is node.having
+                         and all(new is old for (_, new), (_, old)
+                                 in zip(group_keys, node.group_keys))
+                         and all(new is old for new, old
+                                 in zip(aggregates, node.aggregates)))
+            if unchanged:
+                return None
+            return Q.Agg(node.child, group_keys, aggregates, having)
+        if isinstance(node, Q.Sort):
+            keys = tuple((fold_constants(expr), order) for expr, order in node.keys)
+            if all(new is old for (new, _), (old, _) in zip(keys, node.keys)):
+                return None
+            return Q.Sort(node.child, keys)
+        return None
+
+    @staticmethod
+    def _fold_agg(spec: Q.AggSpec) -> Q.AggSpec:
+        folded = fold_constants(spec.expr)
+        return spec if folded is spec.expr else Q.AggSpec(spec.kind, folded, spec.name)
+
+
+class PredicatePushdown(PlanRule):
+    """Push filter conjuncts towards the scans (order-preservingly).
+
+    The predicate of a ``Select`` is split into conjuncts and each conjunct
+    is moved as far down as a case below allows; leftovers stay in a Select
+    above.  Order-safety per case:
+
+    * **Select/Select**: merged into one conjunction, inner predicate first —
+      the same tuples survive in the same order.
+    * **Select/Project**: column references are substituted by the projected
+      expressions and the filter runs below — projection then filter equals
+      filter (on the same values) then projection.
+    * **Select/HashJoin (inner only)**: a one-sided conjunct filters that
+      input before the join.  Inner-join emission is driven by the probe
+      (right) rows with build matches in bucket order; filtering either input
+      preserves the relative order of the surviving pairs.  A two-sided
+      conjunct becomes part of the join's residual, which the engines
+      evaluate per candidate pair with the same merged-row column resolution.
+      Semi/anti/outer hash joins are skipped: their left-row emission order
+      follows bucket (key-first-seen) order, which an upstream filter can
+      permute.
+    * **Select/NestedLoopJoin**: left-side conjuncts push down for every join
+      kind (nested-loop emission is left-major on every engine); right-side
+      and two-sided conjuncts push only for inner joins.
+    * **Select/Agg**: a conjunct over group-key *names* filters whole groups,
+      so it can run below the aggregation with the key names substituted by
+      their expressions; surviving groups keep their contents, encounter
+      order and float accumulation order.
+    * **Select/Sort**: filtering commutes with a stable sort.
+    * **Select/Limit**: never pushed (it would change which rows are kept).
+    """
+
+    name = "predicate-pushdown"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if not isinstance(node, Q.Select):
+            return None
+        child = node.child
+        if isinstance(child, Q.Select):
+            merged = conjoin(split_conjuncts(child.predicate)
+                             + split_conjuncts(node.predicate))
+            return Q.Select(child.child, merged)
+        if isinstance(child, Q.Project):
+            mapping = {name: expr for name, expr in child.projections}
+            pushed = substitute_columns(node.predicate, mapping)
+            return Q.Project(Q.Select(child.child, pushed), child.projections)
+        if isinstance(child, Q.HashJoin):
+            return self._push_into_hash_join(node, child, context)
+        if isinstance(child, Q.NestedLoopJoin):
+            return self._push_into_nested_loop(node, child, context)
+        if isinstance(child, Q.Agg):
+            return self._push_into_agg(node, child)
+        if isinstance(child, Q.Sort):
+            return Q.Sort(Q.Select(child.child, node.predicate), child.keys)
+        return None
+
+    def _push_into_hash_join(self, node: Q.Select, join: Q.HashJoin,
+                             context: PlannerContext) -> Optional[Q.Operator]:
+        if join.kind != "inner":
+            return None
+        left_fields = context.fields_of(join.left)
+        right_fields = context.fields_of(join.right)
+        to_left: List[E.Expr] = []
+        to_right: List[E.Expr] = []
+        to_residual: List[E.Expr] = []
+        keep: List[E.Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            side = classify_columns(conjunct, left_fields, right_fields)
+            if side == "left":
+                to_left.append(strip_sides(conjunct))
+            elif side == "right":
+                to_right.append(strip_sides(conjunct))
+            elif side == "both":
+                to_residual.append(conjunct)
+            else:
+                keep.append(conjunct)
+        if not (to_left or to_right or to_residual):
+            return None
+        new_left = Q.Select(join.left, conjoin(to_left)) if to_left else join.left
+        new_right = Q.Select(join.right, conjoin(to_right)) if to_right else join.right
+        residual = join.residual
+        if to_residual:
+            existing = split_conjuncts(residual) if residual is not None else []
+            residual = conjoin(existing + to_residual)
+        rebuilt = Q.HashJoin(new_left, new_right, join.left_key, join.right_key,
+                             join.kind, residual)
+        leftover = conjoin(keep)
+        return rebuilt if leftover is None else Q.Select(rebuilt, leftover)
+
+    def _push_into_nested_loop(self, node: Q.Select, join: Q.NestedLoopJoin,
+                               context: PlannerContext) -> Optional[Q.Operator]:
+        left_fields = context.fields_of(join.left)
+        # A filter above a semi/anti join only sees the left fields — even a
+        # name that also exists on the right refers to the left input there.
+        right_fields: List[str] = [] if join.kind in ("leftsemi", "leftanti") \
+            else context.fields_of(join.right)
+        inner = join.kind == "inner"
+        to_left: List[E.Expr] = []
+        to_right: List[E.Expr] = []
+        to_predicate: List[E.Expr] = []
+        keep: List[E.Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            side = classify_columns(conjunct, left_fields, right_fields)
+            if side == "left":
+                to_left.append(strip_sides(conjunct))
+            elif side == "right" and inner:
+                to_right.append(strip_sides(conjunct))
+            elif side == "both" and inner:
+                to_predicate.append(conjunct)
+            else:
+                keep.append(conjunct)
+        if not (to_left or to_right or to_predicate):
+            return None
+        new_left = Q.Select(join.left, conjoin(to_left)) if to_left else join.left
+        new_right = Q.Select(join.right, conjoin(to_right)) if to_right else join.right
+        predicate = join.predicate
+        if to_predicate:
+            existing = split_conjuncts(predicate) if predicate is not None else []
+            predicate = conjoin(existing + to_predicate)
+        rebuilt = Q.NestedLoopJoin(new_left, new_right, predicate, join.kind)
+        leftover = conjoin(keep)
+        return rebuilt if leftover is None else Q.Select(rebuilt, leftover)
+
+    def _push_into_agg(self, node: Q.Select, agg: Q.Agg) -> Optional[Q.Operator]:
+        key_names = {name for name, _ in agg.group_keys}
+        mapping = {name: expr for name, expr in agg.group_keys}
+        pushed: List[E.Expr] = []
+        keep: List[E.Expr] = []
+        for conjunct in split_conjuncts(node.predicate):
+            columns = E.columns_used_with_sides(conjunct)
+            if columns and all(side is None and name in key_names
+                               for name, side in columns):
+                pushed.append(substitute_columns(conjunct, mapping))
+            else:
+                keep.append(conjunct)
+        if not pushed:
+            return None
+        new_child = Q.Select(agg.child, conjoin(pushed))
+        rebuilt = Q.Agg(new_child, agg.group_keys, agg.aggregates, agg.having)
+        leftover = conjoin(keep)
+        return rebuilt if leftover is None else Q.Select(rebuilt, leftover)
+
+
+class EquiJoinConversion(PlanRule):
+    """Turn an inner nested-loop join with an equi conjunct into a hash join.
+
+    The nested loop emits pairs left-major: for every left row, every
+    matching right row in right order.  The replacement therefore *builds* on
+    the nested loop's right input and *probes* with its left input — probe
+    (= original left) rows drive emission and bucket lists hold right rows in
+    input order, reproducing the nested loop's pair order exactly.  Remaining
+    conjuncts become the hash join's residual with their side annotations
+    flipped to match the swapped inputs.
+    """
+
+    name = "equi-join-conversion"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if not isinstance(node, Q.NestedLoopJoin):
+            return None
+        if node.kind != "inner" or node.predicate is None:
+            return None
+        left_fields = context.fields_of(node.left)
+        right_fields = context.fields_of(node.right)
+        conjuncts = split_conjuncts(node.predicate)
+        chosen: Optional[Tuple[int, E.Expr, E.Expr]] = None
+        for index, conjunct in enumerate(conjuncts):
+            if not isinstance(conjunct, E.BinOp) or conjunct.op != "==":
+                continue
+            lhs_side = classify_columns(conjunct.left, left_fields, right_fields)
+            rhs_side = classify_columns(conjunct.right, left_fields, right_fields)
+            if {lhs_side, rhs_side} == {"left", "right"}:
+                probe_expr, build_expr = (conjunct.left, conjunct.right) \
+                    if lhs_side == "left" else (conjunct.right, conjunct.left)
+                chosen = (index, strip_sides(probe_expr), strip_sides(build_expr))
+                break
+        if chosen is None:
+            return None
+        index, probe_key, build_key = chosen
+        rest = [flip_sides(c) for i, c in enumerate(conjuncts) if i != index]
+        return Q.HashJoin(node.right, node.left, build_key, probe_key,
+                          "inner", conjoin(rest))
+
+
+class BuildSideSwap(PlanRule):
+    """Cost-based build-side selection for inner hash joins (opt-in).
+
+    Hash joins build on their left input; when statistics say the left input
+    is substantially larger than the right one, swapping the inputs (and the
+    keys, and the residual's side annotations) builds the smaller hash table
+    and streams the larger input through the probe.  The result *multiset*
+    is identical but row order changes from probe-major over the old right
+    to probe-major over the old left, so this rule is only enabled by the
+    order-relaxing ``join_strategy`` planner option.
+    """
+
+    name = "build-side-swap"
+
+    #: only swap when the build side is at least this much bigger than the
+    #: probe side — hysteresis that also guarantees the rule cannot fire
+    #: again on its own output.
+    threshold = 1.5
+
+    def __init__(self, estimator: CardinalityEstimator) -> None:
+        self.estimator = estimator
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if not isinstance(node, Q.HashJoin) or node.kind != "inner":
+            return None
+        build = self.estimator.estimate_rows(node.left)
+        probe = self.estimator.estimate_rows(node.right)
+        if build <= probe * self.threshold:
+            return None
+        residual = flip_sides(node.residual) if node.residual is not None else None
+        return Q.HashJoin(node.right, node.left, node.right_key, node.left_key,
+                          node.kind, residual)

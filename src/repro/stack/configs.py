@@ -115,8 +115,22 @@ def _flags_tpch_compliant() -> OptimizationFlags:
         automatic_index_inference=False, unused_field_removal=False)
 
 
-def build_config(name: str) -> StackConfig:
-    """Build one of the named stack configurations."""
+def build_config(name: str, planner: bool = False) -> StackConfig:
+    """Build one of the named stack configurations.
+
+    ``planner=True`` enables the QPlan-level logical optimizer
+    (:mod:`repro.planner`) as a pre-pass of the query compiler: predicate
+    pushdown, field pruning, constant folding and nested-loop-to-hash-join
+    conversion run before the stack lowers the plan.  The compiled-query
+    cache is then keyed on the optimized plan's fingerprint.
+    """
+    config = _build_config(name)
+    if planner:
+        config.flags = config.flags.copy_with(logical_plan_optimizer=True)
+    return config
+
+
+def _build_config(name: str) -> StackConfig:
     if name == "dblab-2":
         stack = DslStack(
             name,
@@ -190,8 +204,8 @@ def build_config(name: str) -> StackConfig:
     raise KeyError(f"unknown stack configuration {name!r}; known: {CONFIG_NAMES}")
 
 
-def all_configs() -> List[StackConfig]:
-    return [build_config(name) for name in CONFIG_NAMES]
+def all_configs(planner: bool = False) -> List[StackConfig]:
+    return [build_config(name, planner=planner) for name in CONFIG_NAMES]
 
 
 def config_flags(name: str) -> OptimizationFlags:

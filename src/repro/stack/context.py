@@ -25,6 +25,10 @@ class OptimizationFlags:
     unused-field removal.
     """
 
+    #: runs the QPlan-level logical optimizer (repro.planner) as a pre-pass
+    #: before the stack; off by default — the paper's configurations compile
+    #: the hand-written plans as-is, the planner is an extra layer on top.
+    logical_plan_optimizer: bool = False
     pipelining: bool = True
     operator_inlining: bool = True
     data_layout: bool = True

@@ -6,13 +6,16 @@ and improves cache locality.  At the QPlan level this amounts to pruning the
 field list of every ``Scan`` down to the columns actually referenced above it.
 This optimization is one of the four disabled in the TPC-H-compliant
 configuration of Section 7.
+
+The pruning walk itself lives in :mod:`repro.planner.pruning` and is shared
+with the logical plan optimizer; this stack optimization runs it in its
+historical scan-only mode (the planner additionally prunes projections and
+aggregates).
 """
 from __future__ import annotations
 
-from typing import List, Sequence, Set
-
-from ..dsl import expr as E
 from ..dsl import qplan as Q
+from ..planner.pruning import prune_plan
 from ..stack.context import CompilationContext
 from ..stack.language import QPLAN
 from ..stack.transformation import Optimization
@@ -28,68 +31,4 @@ class UnusedFieldRemoval(Optimization):
         super().__init__(QPLAN)
 
     def run(self, plan: Q.Operator, context: CompilationContext) -> Q.Operator:
-        catalog = context.catalog
-        needed = set(Q.output_fields(plan, catalog))
-        return _prune(plan, needed, catalog)
-
-
-def _expr_columns(expr) -> Set[str]:
-    if expr is None:
-        return set()
-    return set(E.columns_used(expr))
-
-
-def _prune(node: Q.Operator, needed: Set[str], catalog) -> Q.Operator:
-    if isinstance(node, Q.Scan):
-        table_columns = catalog.schema.table(node.table).column_names()
-        current = list(node.fields) if node.fields is not None else table_columns
-        kept = tuple(name for name in current if name in needed)
-        if not kept:
-            # keep at least one column so the scan still drives its loop
-            kept = (current[0],)
-        return Q.Scan(node.table, kept)
-
-    if isinstance(node, Q.Select):
-        child_needed = needed | _expr_columns(node.predicate)
-        return Q.Select(_prune(node.child, child_needed, catalog), node.predicate)
-
-    if isinstance(node, Q.Project):
-        child_needed: Set[str] = set()
-        for _, expr in node.projections:
-            child_needed |= _expr_columns(expr)
-        return Q.Project(_prune(node.child, child_needed, catalog), node.projections)
-
-    if isinstance(node, (Q.HashJoin, Q.NestedLoopJoin)):
-        left_fields = set(Q.output_fields(node.left, catalog))
-        right_fields = set(Q.output_fields(node.right, catalog))
-        if isinstance(node, Q.HashJoin):
-            extra_left = _expr_columns(node.left_key) | _expr_columns(node.residual)
-            extra_right = _expr_columns(node.right_key) | _expr_columns(node.residual)
-        else:
-            extra_left = _expr_columns(node.predicate)
-            extra_right = _expr_columns(node.predicate)
-        left_needed = (needed | extra_left) & left_fields
-        right_needed = (needed | extra_right) & right_fields
-        new_left = _prune(node.left, left_needed, catalog)
-        new_right = _prune(node.right, right_needed, catalog)
-        return node.with_children([new_left, new_right])
-
-    if isinstance(node, Q.Agg):
-        child_needed: Set[str] = set()
-        for _, expr in node.group_keys:
-            child_needed |= _expr_columns(expr)
-        for spec in node.aggregates:
-            child_needed |= _expr_columns(spec.expr)
-        return Q.Agg(_prune(node.child, child_needed, catalog), node.group_keys,
-                     node.aggregates, node.having)
-
-    if isinstance(node, Q.Sort):
-        child_needed = set(needed)
-        for expr, _ in node.keys:
-            child_needed |= _expr_columns(expr)
-        return Q.Sort(_prune(node.child, child_needed, catalog), node.keys)
-
-    if isinstance(node, Q.Limit):
-        return Q.Limit(_prune(node.child, needed, catalog), node.count)
-
-    raise Q.PlanError(f"unknown operator {type(node).__name__}")
+        return prune_plan(plan, context.catalog)

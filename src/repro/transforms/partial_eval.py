@@ -46,15 +46,25 @@ class PartialEvaluation(Optimization):
             if not all(isinstance(arg, Const) for arg in expr.args):
                 return None
             values = [arg.value for arg in expr.args]
+            # ZeroDivisionError covers `mod` with a constant zero divisor and
+            # OverflowError covers e.g. huge float exponents: a fold that
+            # cannot be computed at compile time is skipped, never raised —
+            # the runtime expression keeps its own failure behaviour.
             if expr.op in _FOLDABLE and len(values) == 2:
                 try:
                     return Const(_FOLDABLE[expr.op](values[0], values[1]))
-                except TypeError:
+                except (TypeError, ZeroDivisionError, OverflowError):
                     return None
             if expr.op == "div" and len(values) == 2 and values[1] not in (0, 0.0):
-                return Const(values[0] / values[1])
+                try:
+                    return Const(values[0] / values[1])
+                except (TypeError, ZeroDivisionError, OverflowError):
+                    return None
             if expr.op == "neg" and len(values) == 1:
-                return Const(-values[0])
+                try:
+                    return Const(-values[0])
+                except TypeError:
+                    return None
             if expr.op == "not_" and len(values) == 1:
                 return Const(not values[0])
             if expr.op == "and_" and len(values) == 2:

@@ -66,15 +66,54 @@ class TestHarness:
         assert BenchmarkHarness.geometric_mean([]) == 0.0
 
     def test_compiled_queries_are_cached(self, harness):
-        first = harness._compiled("Q6", "dblab-5", None) if False else None
         harness.measure("Q6", "dblab-5")
-        cached = harness._compiled_cache[("Q6", "dblab-5")]
+        key = next(k for k in harness._compiled_cache if k[:2] == ("Q6", "dblab-5"))
+        cached = harness._compiled_cache[key]
         harness.measure("Q6", "dblab-5")
-        assert harness._compiled_cache[("Q6", "dblab-5")] is cached
+        assert harness._compiled_cache[key] is cached
+
+    def test_raw_and_planned_compile_separately(self, harness):
+        harness.measure("Q6", "dblab-3", optimize=False)
+        harness.measure("Q6", "dblab-3", optimize=True)
+        keys = [k for k in harness._compiled_cache if k[:2] == ("Q6", "dblab-3")]
+        assert len(keys) == 2, "raw and planned plans must not share a cache slot"
 
     def test_engine_names_cover_all_configs(self):
         assert ENGINE_NAMES[0] == "interpreter"
         assert "dblab-5" in ENGINE_NAMES and "tpch-compliant" in ENGINE_NAMES
+
+
+class TestPlannerMode:
+    def test_measure_with_optimize_tags_the_plan_mode(self, harness):
+        raw = harness.measure("Q6", "interpreter", optimize=False)
+        planned = harness.measure("Q6", "interpreter", optimize=True)
+        assert raw.plan_mode == "raw" and planned.plan_mode == "planned"
+        assert planned.rows == raw.rows
+
+    def test_use_planner_harness_defaults_every_measurement(self):
+        catalog = generate_catalog(scale_factor=0.0005, seed=3)
+        planning = BenchmarkHarness(catalog, repetitions=1, use_planner=True)
+        assert planning.measure("Q6", "vectorized").plan_mode == "planned"
+
+    def test_table3_planner_grid(self, harness):
+        results = harness.table3_planner(queries=["Q6"],
+                                         engines=["interpreter", "vectorized"])
+        pair = results["Q6"]["interpreter"]
+        assert pair["raw"].rows == pair["planned"].rows
+        assert pair["planned"].plan_mode == "planned"
+        text = BenchmarkHarness.format_planner_table(results)
+        assert "Q6" in text and "x)" in text
+
+    def test_planner_json_report(self, harness, tmp_path):
+        results = harness.table3_planner(queries=["Q6"], engines=["vectorized"])
+        path = tmp_path / "BENCH_planner.json"
+        BenchmarkHarness.write_planner_json(results, str(path), scale_factor=0.0005)
+        import json
+        payload = json.loads(path.read_text())
+        assert payload["meta"]["scale_factor"] == 0.0005
+        cell = payload["queries"]["Q6"]["vectorized"]
+        assert cell["raw"]["rows"] == cell["planned"]["rows"]
+        assert cell["speedup"] > 0
 
 
 class TestLocAccounting:

@@ -2,7 +2,7 @@
 import pytest
 
 from repro.dsl import qplan
-from repro.dsl.expr import col, lit
+from repro.dsl.expr import Col, col, lit
 from repro.storage.catalog import Catalog
 from repro.storage.layouts import ColumnarTable
 from repro.storage.schema import TableSchema, float_column, int_column, string_column
@@ -117,3 +117,60 @@ class TestAnalysis:
                             col("r_name") == "a")
         with pytest.raises(qplan.PlanError):
             qplan.validate(plan, catalog)
+
+    def test_validate_checks_hash_join_residual(self, catalog):
+        """Regression: residuals used to be skipped by validation entirely."""
+        good = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                              col("r_sid"), col("s_id"),
+                              residual=col("s_val") > col("r_id"))
+        qplan.validate(good, catalog)
+        bad = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                             col("r_sid"), col("s_id"),
+                             residual=col("bogus") > 1)
+        with pytest.raises(qplan.PlanError, match="bogus"):
+            qplan.validate(bad, catalog)
+
+    def test_validate_checks_residual_sides(self, catalog):
+        """A sided residual reference must exist on the *referenced* side."""
+        bad = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                             col("r_sid"), col("s_id"),
+                             residual=Col("s_val", "left") > 1)
+        with pytest.raises(qplan.PlanError, match="s_val"):
+            qplan.validate(bad, catalog)
+        good = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                              col("r_sid"), col("s_id"),
+                              residual=Col("s_val", "right") > 1)
+        qplan.validate(good, catalog)
+
+    def test_validate_checks_semi_join_residual_against_both_inputs(self, catalog):
+        """Semi/anti joins output only left fields, but their residual is
+        evaluated on candidate pairs and may reference the right input."""
+        good = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                              col("r_sid"), col("s_id"), kind="leftsemi",
+                              residual=Col("s_val", "right") > Col("r_id", "left"))
+        qplan.validate(good, catalog)
+        bad = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("s"),
+                             col("r_sid"), col("s_id"), kind="leftanti",
+                             residual=col("missing") == 1)
+        with pytest.raises(qplan.PlanError, match="missing"):
+            qplan.validate(bad, catalog)
+
+    def test_validate_checks_nested_loop_predicate(self, catalog):
+        """Regression: nested-loop predicates used to be skipped too."""
+        good = qplan.NestedLoopJoin(qplan.Scan("r"), qplan.Scan("s"),
+                                    col("r_sid") < col("s_id"))
+        qplan.validate(good, catalog)
+        bad = qplan.NestedLoopJoin(qplan.Scan("r"), qplan.Scan("s"),
+                                   col("r_sid") < col("nope"))
+        with pytest.raises(qplan.PlanError, match="nope"):
+            qplan.validate(bad, catalog)
+
+    def test_output_fields_memo_reused_within_one_pass(self, catalog):
+        scan = qplan.Scan("r")
+        plan = qplan.Sort(qplan.Select(scan, col("r_id") > 1), [(col("r_id"), "asc")])
+        memo = {}
+        fields = qplan.output_fields(plan, catalog, memo)
+        assert fields == ["r_id", "r_name", "r_sid"]
+        # every node of the chain was cached, including the shared scan
+        assert memo[id(scan)] == fields
+        assert qplan.output_fields(plan, catalog, memo) is memo[id(plan)]

@@ -1,0 +1,133 @@
+"""Unit tests for the planner's expression analysis and rewriting helpers."""
+import pytest
+
+from repro.dsl.expr import (BinOp, Col, Lit, UnaryOp, case, col, columns_used,
+                            evaluate, in_list, like, lit, substr, year)
+from repro.planner.exprs import (classify_columns, conjoin, flip_sides,
+                                 fold_constants, is_literal_true,
+                                 simplify_predicate, split_conjuncts,
+                                 strip_sides, substitute_columns)
+
+
+class TestConjuncts:
+    def test_split_flattens_nested_ands(self):
+        predicate = (col("a") > 1) & (col("b") > 2) & (col("c") > 3)
+        parts = split_conjuncts(predicate)
+        assert len(parts) == 3
+        assert columns_used(parts[0]) == ["a"]
+        assert columns_used(parts[2]) == ["c"]
+
+    def test_split_keeps_disjunctions_whole(self):
+        predicate = (col("a") > 1) | (col("b") > 2)
+        assert split_conjuncts(predicate) == [predicate]
+
+    def test_conjoin_round_trips(self):
+        parts = [col("a") > 1, col("b") > 2]
+        rebuilt = conjoin(parts)
+        assert split_conjuncts(rebuilt) == parts
+        assert conjoin([]) is None
+
+
+class TestSubstitution:
+    def test_substitute_replaces_unsided_references(self):
+        mapping = {"revenue": col("price") * (1 - col("discount"))}
+        substituted = substitute_columns(col("revenue") > 100.0, mapping)
+        assert set(columns_used(substituted)) == {"price", "discount"}
+
+    def test_substitute_preserves_untouched_tree_identity(self):
+        predicate = col("other") > 1
+        assert substitute_columns(predicate, {"revenue": col("x")}) is predicate
+
+    def test_substitute_skips_sided_references(self):
+        predicate = Col("k", "left") == col("k")
+        substituted = substitute_columns(predicate, {"k": col("j")})
+        assert substituted.left.side == "left" and substituted.left.name == "k"
+        assert substituted.right.name == "j"
+
+
+class TestSides:
+    def test_flip_sides(self):
+        flipped = flip_sides(Col("a", "left") == Col("b", "right"))
+        assert flipped.left.side == "right" and flipped.right.side == "left"
+
+    def test_strip_sides(self):
+        stripped = strip_sides(Col("a", "left") == col("b"))
+        assert stripped.left.side is None and stripped.right.side is None
+
+    def test_classify_columns(self):
+        left, right = ["a", "b"], ["c", "d"]
+        assert classify_columns(col("a") > 1, left, right) == "left"
+        assert classify_columns(col("c") > 1, left, right) == "right"
+        assert classify_columns(col("a") == col("d"), left, right) == "both"
+        assert classify_columns(lit(1) == 1, left, right) == "none"
+        assert classify_columns(col("zz") > 1, left, right) is None
+
+    def test_classify_resolves_unsided_shadowing_right(self):
+        # same name on both inputs: engines resolve right-shadows-left
+        assert classify_columns(col("k") > 1, ["k"], ["k"]) == "right"
+        assert classify_columns(Col("k", "left") > 1, ["k"], ["k"]) == "left"
+
+
+class TestConstantFolding:
+    def test_folds_pure_arithmetic_and_comparisons(self):
+        folded = fold_constants(BinOp("*", lit(6), lit(7)))
+        assert isinstance(folded, Lit) and folded.value == 42
+        folded = fold_constants(BinOp("<", lit(1), lit(2)))
+        assert folded.value is True
+
+    def test_skips_division_by_zero(self):
+        expr = BinOp("/", lit(1), lit(0))
+        assert fold_constants(expr) is expr
+
+    def test_skips_type_mismatches(self):
+        expr = BinOp("-", lit("text"), lit(3))
+        assert fold_constants(expr) is expr
+
+    def test_folds_inside_larger_trees(self):
+        expr = col("x") * BinOp("+", lit(2), lit(3))
+        folded = fold_constants(expr)
+        assert isinstance(folded.right, Lit) and folded.right.value == 5
+        assert folded.left.name == "x"
+
+    def test_folding_matches_evaluate(self):
+        cases = [
+            BinOp("and", lit(True), lit(0)),
+            BinOp("or", lit(0), lit(3)),
+            UnaryOp("not", lit(0)),
+            like(lit("PROMO BRASS"), "PROMO%"),
+            in_list(lit(3), [1, 2, 3]),
+            substr(lit("abcdef"), 2, 3),
+            year(lit(19980902)),
+        ]
+        for expr in cases:
+            folded = fold_constants(expr)
+            assert isinstance(folded, Lit)
+            assert folded.value == evaluate(expr, {})
+
+    def test_untouched_trees_keep_identity(self):
+        expr = (col("a") > 1) & (col("b") < 2)
+        assert fold_constants(expr) is expr
+
+    def test_case_with_literal_conditions(self):
+        expr = case([(lit(False), lit(1)), (lit(True), col("x"))], lit(0))
+        folded = fold_constants(expr)
+        assert isinstance(folded, Col) and folded.name == "x"
+
+
+class TestPredicateSimplification:
+    def test_drops_literal_true_conjuncts(self):
+        predicate = (col("a") > 1) & lit(True)
+        simplified = simplify_predicate(predicate)
+        assert columns_used(simplified) == ["a"]
+        assert not (isinstance(simplified, BinOp) and simplified.op == "and")
+
+    def test_collapses_literal_false(self):
+        simplified = simplify_predicate((col("a") > 1) & lit(False))
+        assert isinstance(simplified, Lit) and simplified.value is False
+
+    def test_or_with_literal_true_short_circuits(self):
+        simplified = simplify_predicate((col("a") > 1) | lit(True))
+        assert is_literal_true(simplified)
+
+    def test_fully_constant_predicate(self):
+        assert is_literal_true(simplify_predicate(BinOp(">", lit(2), lit(1))))

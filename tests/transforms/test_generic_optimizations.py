@@ -94,6 +94,24 @@ class TestPartialEvaluation:
         folded = PartialEvaluation(SCALITE).run(program, context())
         assert "div" in count_ops(folded)
 
+    def test_mod_by_zero_not_folded(self):
+        """Folding `7 mod 0` must skip the fold, not raise at compile time."""
+        b = IRBuilder()
+        x = b.emit("mod", [7, 0])
+        program = make_program(b.finish(x), [], "ScaLite")
+        folded = PartialEvaluation(SCALITE).run(program, context())
+        assert "mod" in count_ops(folded)
+
+    def test_mismatched_constant_types_not_folded(self):
+        b = IRBuilder()
+        x = b.emit("div", [Const("text"), Const(3)])
+        y = b.emit("neg", [Const("text")])
+        b.emit("add", [x, y])
+        program = make_program(b.finish(Const(0)), [], "ScaLite")
+        folded = PartialEvaluation(SCALITE).run(program, context())
+        counts = count_ops(folded)
+        assert "div" in counts and "neg" in counts
+
     def test_non_constant_args_untouched(self):
         b = IRBuilder()
         v = b.emit("var_new", [1])
