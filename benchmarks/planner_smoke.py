@@ -12,6 +12,13 @@ the planner-optimized plan, prints the comparison table and writes the full
 measurement grid as a ``BENCH_*.json`` artifact.  The run fails (exit code 1)
 if any optimized plan returns a different row count than its raw plan — a
 cheap end-to-end guard on top of the parity test suite.
+
+``--verify`` additionally executes each raw and optimized plan on the
+interpreter and compares the actual rows under the plan's **order contract**
+(sort-key-aware multiset equality with float-accumulation tolerance —
+:func:`repro.bench.harness.rows_equivalent`), the same check the parity
+suite applies.  With the cost-based join-strategy rules on by default, this
+is the contract the optimized plans are required to honour.
 """
 from __future__ import annotations
 
@@ -35,13 +42,37 @@ def main(argv=None) -> int:
     parser.add_argument("--seed", type=int, default=20160626)
     parser.add_argument("--out", default="BENCH_planner_smoke.json",
                         help="output JSON path (default: BENCH_planner_smoke.json)")
+    parser.add_argument("--verify", action="store_true",
+                        help="execute raw vs optimized plans and compare the "
+                             "rows under the order contract")
     args = parser.parse_args(argv)
 
-    from repro.bench.harness import BenchmarkHarness
+    from repro.bench.harness import BenchmarkHarness, rows_equivalent
     from repro.tpch.dbgen import generate_catalog
 
     catalog = generate_catalog(scale_factor=args.scale_factor, seed=args.seed)
     harness = BenchmarkHarness(catalog, repetitions=args.repetitions)
+
+    if args.verify:
+        from repro.engine.volcano import VolcanoEngine
+        from repro.planner import sort_contract
+        from repro.tpch.queries import build_query
+
+        engine = VolcanoEngine(catalog)
+        failures = []
+        for query_name in args.queries:
+            raw = build_query(query_name)
+            optimized = harness.planner.optimize(build_query(query_name))
+            ok = rows_equivalent(engine.execute(raw), engine.execute(optimized),
+                                 sort_keys=sort_contract(raw))
+            print(f"verify {query_name}: "
+                  f"{'ok' if ok else 'CONTRACT VIOLATION'}")
+            if not ok:
+                failures.append(query_name)
+        if failures:
+            print(f"order-contract violations: {failures}", file=sys.stderr)
+            return 1
+
     results = harness.table3_planner(queries=args.queries, engines=args.engines)
 
     print(harness.format_planner_table(results))

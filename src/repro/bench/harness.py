@@ -14,6 +14,13 @@ dimension: ``use_planner=True`` times logically-optimized plans everywhere,
 and :meth:`BenchmarkHarness.table3_planner` measures both variants side by
 side (``format_planner_table`` / ``write_planner_json`` report them).
 
+The module also hosts the **order-contract result comparator** the parity
+suites and smoke drivers share: :func:`rows_equivalent` checks multiset
+equality with float-accumulation tolerance and, when a plan carries a sort
+contract (:func:`repro.planner.sort_contract`), additionally enforces the
+guaranteed key order position by position.  This comparator is what allows
+the cost-based join-strategy rules to be enabled by default.
+
 Absolute numbers are not comparable to the paper's C implementation on a Xeon
 server; the claims being reproduced are the *relative* ones (who wins, the
 size of the jump when the data-structure-aware level is added, and that extra
@@ -22,13 +29,16 @@ levels never hurt).
 from __future__ import annotations
 
 import json
+import math
 import time
 import tracemalloc
-from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence
+from collections import Counter
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..codegen.compiler import CompiledQuery, QueryCompiler
 from ..dsl import qplan as Q
+from ..dsl.expr_compile import compile_row
 from ..engine.template_expander import TemplateExpander
 from ..planner import Planner, PlannerOptions
 from ..stack.configs import (CONFIG_NAMES, DIRECT_ENGINE_NAMES, StackConfig,
@@ -41,6 +51,133 @@ ENGINE_NAMES = DIRECT_ENGINE_NAMES + ("template-expander",) + CONFIG_NAMES
 
 #: the two plan modes of the planner comparison benchmarks
 PLAN_MODES = ("raw", "planned")
+
+#: significant digits floats are canonicalised to before comparison — wide
+#: enough to distinguish genuinely different values, tolerant to the
+#: accumulation-order perturbations of the cost-based join rules
+FLOAT_DIGITS = 9
+
+
+# ---------------------------------------------------------------------------
+# Result comparison under order contracts
+# ---------------------------------------------------------------------------
+def canonical_value(value: Any, digits: int = FLOAT_DIGITS) -> Any:
+    """A hashable, tolerance-normalised form of one result value.
+
+    Floats are formatted to ``digits`` significant digits so that two sums
+    accumulated in different orders (the only value difference a
+    multiset-preserving rewrite can introduce) canonicalise identically.
+    """
+    if isinstance(value, float):
+        return f"{value:.{digits}g}"
+    return value
+
+
+def canonical_rows(rows: Sequence[Dict[str, Any]],
+                   digits: int = FLOAT_DIGITS) -> List[Tuple]:
+    """Rows as hashable tuples with canonicalised values (order kept)."""
+    return [tuple(sorted((name, canonical_value(value, digits))
+                         for name, value in row.items()))
+            for row in rows]
+
+
+def _value_close(left: Any, right: Any, digits: int) -> bool:
+    """Tolerant scalar equality: floats to ~``digits`` significant digits."""
+    if isinstance(left, float) and isinstance(right, float):
+        tolerance = 10.0 ** (1 - digits)
+        return math.isclose(left, right, rel_tol=tolerance, abs_tol=tolerance)
+    return left == right
+
+
+def _rows_multiset_equal(expected: Sequence[Dict[str, Any]],
+                         actual: Sequence[Dict[str, Any]],
+                         digits: int) -> bool:
+    """Order-insensitive row comparison with float tolerance.
+
+    The fast path hashes canonicalised rows into counters.  Canonicalisation
+    rounds, and rounding is bucketing, not a tolerance: two floats within
+    accumulation tolerance can land in adjacent buckets and defeat the
+    counter comparison.  The fallback therefore sorts both sides by their
+    canonical form and compares rows pairwise with a real epsilon
+    (:func:`_value_close`), so boundary-straddling values cannot cause a
+    spurious mismatch.
+    """
+    if Counter(canonical_rows(expected, digits)) == \
+            Counter(canonical_rows(actual, digits)):
+        return True
+
+    def ordered(rows: Sequence[Dict[str, Any]]) -> List[Dict[str, Any]]:
+        return sorted(rows, key=lambda row: tuple(
+            sorted((name, repr(canonical_value(value, digits)))
+                   for name, value in row.items())))
+
+    for left, right in zip(ordered(expected), ordered(actual)):
+        if left.keys() != right.keys():
+            return False
+        if not all(_value_close(left[name], right[name], digits) for name in left):
+            return False
+    return True
+
+
+def rows_equivalent(expected: Sequence[Dict[str, Any]],
+                    actual: Sequence[Dict[str, Any]],
+                    sort_keys=None, digits: int = FLOAT_DIGITS) -> bool:
+    """Compare two result sets under an order contract.
+
+    Without ``sort_keys`` the two row lists must be equal as **multisets**
+    (float values compared to ``digits`` significant digits).  With
+    ``sort_keys`` — a plan's :func:`repro.planner.sort_contract`, a tuple of
+    ``(key_expr, order)`` pairs over the output columns — the comparison is
+    sort-key aware and strictly stronger: the sequences of key tuples must
+    match position by position, and rows may be permuted only *within* runs
+    of equal keys (the ties the contract leaves unspecified).
+    """
+    if len(expected) != len(actual):
+        return False
+    if not sort_keys:
+        return _rows_multiset_equal(expected, actual, digits)
+    key_fns = [compile_row(expr) for expr, _ in sort_keys]
+
+    def raw_keys_of(rows: Sequence[Dict[str, Any]]) -> List[Tuple]:
+        return [tuple(fn(row) for fn in key_fns) for row in rows]
+
+    expected_keys, actual_keys = raw_keys_of(expected), raw_keys_of(actual)
+    for left, right in zip(expected_keys, actual_keys):
+        if not all(_value_close(a, b, digits) for a, b in zip(left, right)):
+            return False
+    # Compare rows within each maximal run of equal (canonicalised) sort
+    # keys: ties are the only positions a multiset-preserving rewrite may
+    # permute.
+    canonical_keys = [tuple(canonical_value(v, digits) for v in key)
+                      for key in expected_keys]
+    start = 0
+    for stop in range(1, len(expected) + 1):
+        if stop == len(expected) or canonical_keys[stop] != canonical_keys[start]:
+            if not _rows_multiset_equal(expected[start:stop],
+                                        actual[start:stop], digits):
+                return False
+            start = stop
+    return True
+
+
+def assert_rows_equivalent(expected: Sequence[Dict[str, Any]],
+                           actual: Sequence[Dict[str, Any]],
+                           sort_keys=None, digits: int = FLOAT_DIGITS,
+                           context: str = "") -> None:
+    """``rows_equivalent`` with a diagnostic ``AssertionError`` on mismatch."""
+    if rows_equivalent(expected, actual, sort_keys=sort_keys, digits=digits):
+        return
+    prefix = f"{context}: " if context else ""
+    if len(expected) != len(actual):
+        raise AssertionError(
+            f"{prefix}row count mismatch: expected {len(expected)}, "
+            f"got {len(actual)}")
+    missing = Counter(canonical_rows(expected, digits))
+    missing.subtract(canonical_rows(actual, digits))
+    diff = [f"{'-' if count > 0 else '+'} {row}"
+            for row, count in missing.items() if count != 0]
+    detail = "\n".join(diff[:10]) if diff else "(multisets equal; order contract violated)"
+    raise AssertionError(f"{prefix}results differ under the order contract:\n{detail}")
 
 
 @dataclass

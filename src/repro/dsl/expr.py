@@ -12,7 +12,7 @@ Python operator overloading makes plan construction readable::
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from .. import dates

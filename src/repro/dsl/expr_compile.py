@@ -26,7 +26,7 @@ different plans sharing subexpressions — never recompile.
 """
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Sequence, Tuple
 
 from .. import dates
 from . import expr as E

@@ -17,7 +17,7 @@ The embedding uses a fluent builder::
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 from .expr import Expr, wrap
 from . import qplan as Q

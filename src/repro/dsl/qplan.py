@@ -4,7 +4,8 @@ QPlan programs are plain operator trees — the paper notes that an AST is a
 sufficient IR for algebraic languages without variable bindings.  The operator
 vocabulary covers what commercial engines provide and what the 22 TPC-H
 queries need: scans, selections, projections, hash joins (inner, semi, anti,
-outer), nested-loop joins, group-by aggregation, sorting and limits.
+outer), nested-loop joins, group-by aggregation, sorting, limits and bounded
+top-k (the planner's fusion of ``Limit`` over ``Sort``).
 
 A QPlan tree is consumed by three clients:
 
@@ -16,10 +17,10 @@ A QPlan tree is consumed by three clients:
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from .expr import Col, Expr, ExprError, columns_used, columns_used_with_sides, wrap
+from .expr import Expr, columns_used, columns_used_with_sides, wrap
 
 
 class PlanError(Exception):
@@ -253,7 +254,11 @@ class Sort(Operator):
 
 @dataclass(repr=False, slots=True)
 class Limit(Operator):
-    """Keep only the first ``count`` rows."""
+    """Keep only the first ``count`` rows.
+
+    ``count <= 0`` yields no rows on every engine; negative counts are
+    rejected by :func:`validate`.
+    """
 
     child: Operator
     count: int
@@ -266,6 +271,39 @@ class Limit(Operator):
 
     def describe(self) -> str:
         return f"Limit({self.count})"
+
+
+@dataclass(repr=False, slots=True)
+class TopK(Operator):
+    """The first ``count`` rows of the ``Sort(keys)`` order of the input.
+
+    Semantically identical to ``Limit(Sort(child, keys), count)`` — the
+    planner's top-k fusion rule produces this operator from exactly that
+    shape — but executed as a bounded heap (:mod:`repro.engine.sortkeys`)
+    instead of a full sort, so the input is never materialised in sorted
+    order.  Tie-breaking is stable (input order), matching the engines'
+    stable multi-pass sorts row for row.
+    """
+
+    child: Operator
+    keys: Tuple[Tuple[Expr, str], ...]
+    count: int
+
+    def __post_init__(self) -> None:
+        self.keys = tuple((wrap(expr), order) for expr, order in self.keys)
+        for _, order in self.keys:
+            if order not in ("asc", "desc"):
+                raise PlanError(f"unknown sort order {order!r}")
+
+    def children(self) -> Tuple[Operator, ...]:
+        return (self.child,)
+
+    def with_children(self, children: Sequence[Operator]) -> "TopK":
+        return TopK(children[0], self.keys, self.count)
+
+    def describe(self) -> str:
+        orders = ", ".join(order for _, order in self.keys)
+        return f"TopK({self.count}; {orders})"
 
 
 # ---------------------------------------------------------------------------
@@ -314,7 +352,7 @@ def _output_fields(plan: Operator, catalog,
         if plan.fields is not None:
             return list(plan.fields)
         return catalog.schema.table(plan.table).column_names()
-    if isinstance(plan, (Select, Limit, Sort)):
+    if isinstance(plan, (Select, Limit, Sort, TopK)):
         return output_fields(plan.child, catalog, memo)
     if isinstance(plan, Project):
         return [name for name, _ in plan.projections]
@@ -332,6 +370,36 @@ def _output_fields(plan: Operator, catalog,
     if isinstance(plan, Agg):
         return [name for name, _ in plan.group_keys] + [a.name for a in plan.aggregates]
     raise PlanError(f"unknown operator {type(plan).__name__}")
+
+
+def shared_subplan_fingerprints(plan: Operator) -> Dict[int, str]:
+    """Repeated subplans of a plan: ``id(node) -> structural key``.
+
+    A subtree is *shared* when its canonical structure occurs more than once
+    in the plan — either as one Python object referenced from two parents
+    (TPC-H Q15's revenue view) or as two structurally identical trees (Q11's
+    twice-built partsupp pipeline).  Engines consult this map to execute each
+    shared subtree once per query and serve later occurrences from a
+    materialised-subplan cache.  Bare scans are excluded: they are already
+    zero-copy reads of the catalog's columnar storage, so caching them would
+    only add a materialisation.
+
+    The returned keys are ``id()`` values of the plan's own nodes; the map is
+    only valid while that plan object is alive (engines build it per
+    execution and drop it afterwards).
+    """
+    counts: Dict[str, int] = {}
+    by_id: Dict[int, str] = {}
+    for node in walk(plan):
+        if isinstance(node, Scan):
+            continue
+        canonical = by_id.get(id(node))
+        if canonical is None:
+            canonical = _plan_canonical(node)
+            by_id[id(node)] = canonical
+        counts[canonical] = counts.get(canonical, 0) + 1
+    return {node_id: canonical for node_id, canonical in by_id.items()
+            if counts[canonical] > 1}
 
 
 def plan_fingerprint(plan: Operator) -> str:
@@ -377,6 +445,9 @@ def _plan_canonical(plan: Operator) -> str:
         return f"Sort([{keys}];{_plan_canonical(plan.child)})"
     if isinstance(plan, Limit):
         return f"Limit({plan.count};{_plan_canonical(plan.child)})"
+    if isinstance(plan, TopK):
+        keys = ",".join(f"{efp(expr)}:{order}" for expr, order in plan.keys)
+        return f"TopK([{keys}];{plan.count};{_plan_canonical(plan.child)})"
     raise PlanError(f"cannot fingerprint operator {type(plan).__name__}")
 
 
@@ -427,10 +498,14 @@ def validate(plan: Operator, catalog) -> None:
                     _require(columns_used(agg.expr), child_fields, node)
             if node.having is not None:
                 _require(columns_used(node.having), fields, node)
-        if isinstance(node, Sort):
+        if isinstance(node, (Sort, TopK)):
             child_fields = fields_of(node.child)
             for expr, _ in node.keys:
                 _require(columns_used(expr), child_fields, node)
+        if isinstance(node, (Limit, TopK)) and node.count < 0:
+            raise PlanError(
+                f"{node.describe()}: negative row count {node.count}; "
+                "use 0 to return no rows")
         for child in node.children():
             check(child)
 

@@ -1,0 +1,69 @@
+"""Common-subtree sharing for the direct engines.
+
+:class:`SubplanSharing` is mixed into the Volcano interpreter and the
+vectorized engine.  Per execution it detects repeated subplans
+(:func:`repro.dsl.qplan.shared_subplan_fingerprints`), executes each one
+once through the engine's ``_dispatch`` and replays the materialised result
+(rows or column batches — whatever ``_dispatch`` yields) for every further
+occurrence.  Outside :meth:`_sharing_active` the cache is disarmed, so
+direct pipeline iteration (``iterate`` / ``execute_batches`` called without
+``execute``) runs unshared.
+
+Detection is memoized by plan identity: the harness and the benchmarks
+execute the same plan object many times, and the stored strong reference
+keeps the plan — and thus the ``id()`` keys of its nodes — alive.
+"""
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Any, Dict, List, Optional
+
+from ..dsl import qplan
+
+
+class SubplanSharing:
+    """Mixin: a per-execution materialised cache for shared subplans.
+
+    The host engine must provide ``_dispatch(plan)`` returning an iterable
+    of that operator's output units, and route every recursive descent
+    through :meth:`_sharing_replay`.
+    """
+
+    def _sharing_init(self) -> None:
+        #: per-execution state (``None`` while no execute() is active)
+        self._shared_ids: Optional[Dict[int, str]] = None
+        self._shared_cache: Optional[Dict[str, List[Any]]] = None
+        #: detection memo for the last executed plan (identity-keyed)
+        self._last_plan: Optional[qplan.Operator] = None
+        self._last_shared: Optional[Dict[int, str]] = None
+
+    @contextmanager
+    def _sharing_active(self, plan: qplan.Operator):
+        """Arm the cache for one execution of ``plan`` (no-op when the plan
+        has no repeated subtrees)."""
+        if plan is self._last_plan:
+            shared = self._last_shared
+        else:
+            shared = qplan.shared_subplan_fingerprints(plan)
+            self._last_plan, self._last_shared = plan, shared
+        if not shared:
+            yield
+            return
+        self._shared_ids, self._shared_cache = shared, {}
+        try:
+            yield
+        finally:
+            self._shared_ids = self._shared_cache = None
+
+    def _sharing_replay(self, plan: qplan.Operator):
+        """An iterator over the cached result of a shared node, or ``None``
+        when ``plan`` is not shared (or no execution is active)."""
+        if self._shared_ids is None:
+            return None
+        key = self._shared_ids.get(id(plan))
+        if key is None:
+            return None
+        cached = self._shared_cache.get(key)
+        if cached is None:
+            cached = self._shared_cache[key] = list(self._dispatch(plan))
+        return iter(cached)

@@ -25,6 +25,8 @@ from ..dsl import qplan
 from ..dsl.expr_compile import (compile_columnar, compile_columnar_pair,
                                 compile_columnar_predicate, compile_row)
 from ..storage.catalog import Catalog
+from .sharing import SubplanSharing
+from .sortkeys import pass_keys, topk_indices
 
 Row = Dict[str, Any]
 
@@ -63,7 +65,7 @@ class ColumnBatch:
                 f"{self.num_selected}/{self.length} rows)")
 
 
-class VectorizedEngine:
+class VectorizedEngine(SubplanSharing):
     """Batch-at-a-time columnar executor over QPlan operator trees.
 
     ``batch_size`` of ``None`` (the default) processes each base table as a
@@ -77,6 +79,7 @@ class VectorizedEngine:
             raise VectorizedError(f"batch_size must be positive, got {batch_size}")
         self.catalog = catalog
         self.batch_size = batch_size
+        self._sharing_init()
 
     # ------------------------------------------------------------------
     # Public API
@@ -84,15 +87,21 @@ class VectorizedEngine:
     def execute(self, plan: qplan.Operator) -> List[Row]:
         """Run a plan and materialize the result as boxed rows (done once)."""
         fields = qplan.output_fields(plan, self.catalog)
-        rows: List[Row] = []
-        for batch in self.execute_batches(plan):
-            columns = [batch.columns[name] for name in fields]
-            for i in batch.indices():
-                rows.append({name: column[i] for name, column in zip(fields, columns)})
-        return rows
+        with self._sharing_active(plan):
+            rows: List[Row] = []
+            for batch in self.execute_batches(plan):
+                columns = [batch.columns[name] for name in fields]
+                for i in batch.indices():
+                    rows.append({name: column[i] for name, column in zip(fields, columns)})
+            return rows
 
     def execute_batches(self, plan: qplan.Operator) -> Iterator[ColumnBatch]:
-        """The batch pipeline for one operator."""
+        """The batch pipeline for one operator (shared subplans run once and
+        are replayed from the materialised-batch cache)."""
+        cached = self._sharing_replay(plan)
+        return cached if cached is not None else self._dispatch(plan)
+
+    def _dispatch(self, plan: qplan.Operator) -> Iterator[ColumnBatch]:
         if isinstance(plan, qplan.Scan):
             return self._scan(plan)
         if isinstance(plan, qplan.Select):
@@ -107,6 +116,8 @@ class VectorizedEngine:
             return self._aggregate(plan)
         if isinstance(plan, qplan.Sort):
             return self._sort(plan)
+        if isinstance(plan, qplan.TopK):
+            return self._topk(plan)
         if isinstance(plan, qplan.Limit):
             return self._limit(plan)
         raise VectorizedError(f"unknown operator {type(plan).__name__}")
@@ -367,6 +378,12 @@ class VectorizedEngine:
                 for slot, column in enumerate(value_columns, start=1):
                     entry[slot].extend([column[p] for p in positions])
 
+        # A global fold over an empty input still produces one row of neutral
+        # aggregates (count=0, sum=0, avg/min/max None) — mirror volcano's
+        # seeded-accumulator behaviour by registering one empty group.
+        if not groups and not key_fns:
+            groups[()] = [0] + [[] for _ in value_slots]
+
         out_names = key_names + [agg.name for agg in aggs]
         columns: Dict[str, List[Any]] = {name: [] for name in out_names}
         count = 0
@@ -386,12 +403,25 @@ class VectorizedEngine:
         columns, count = self._materialize(plan.child)
         # Decorate-sort-undecorate on the selection vector: key columns are
         # computed once, then stable index sorts from the least-significant
-        # key up replicate the interpreter's multi-pass ordering exactly.
+        # key up replicate the interpreter's multi-pass ordering exactly
+        # (``pass_keys`` applies the shared null contract: nulls last on asc).
         order = list(range(count))
         for expr, direction in reversed(plan.keys):
-            keys = compile_columnar(expr)(columns, range(count))
+            keys = pass_keys(compile_columnar(expr)(columns, range(count)))
             order.sort(key=keys.__getitem__, reverse=(direction == "desc"))
         yield ColumnBatch(columns, order, count)
+
+    def _topk(self, plan: qplan.TopK) -> Iterator[ColumnBatch]:
+        # Fused Sort+Limit: key columns are computed once over the
+        # materialised input, then a bounded heap selects the first ``count``
+        # indices of the sort order — the full selection vector is never
+        # sorted, and only the surviving rows are gathered downstream.
+        columns, count = self._materialize(plan.child)
+        key_columns = [compile_columnar(expr)(columns, range(count))
+                       for expr, _ in plan.keys]
+        orders = [order for _, order in plan.keys]
+        sel = topk_indices(key_columns, orders, plan.count, count)
+        yield ColumnBatch(columns, sel, count)
 
     def _limit(self, plan: qplan.Limit) -> Iterator[ColumnBatch]:
         remaining = plan.count

@@ -18,11 +18,13 @@ The interpreter plays two roles in this repository:
 """
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Iterable, Iterator, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..dsl import qplan
 from ..dsl.expr_compile import compile_pair, compile_row
 from ..storage.catalog import Catalog
+from .sharing import SubplanSharing
+from .sortkeys import pass_keys, topk_rows
 
 Row = Dict[str, Any]
 
@@ -31,21 +33,29 @@ class VolcanoError(Exception):
     pass
 
 
-class VolcanoEngine:
+class VolcanoEngine(SubplanSharing):
     """Pull-based interpreter over QPlan operator trees."""
 
     def __init__(self, catalog: Catalog) -> None:
         self.catalog = catalog
+        self._sharing_init()
 
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
     def execute(self, plan: qplan.Operator) -> List[Row]:
         """Run a plan to completion and return the list of output rows."""
-        return list(self.iterate(plan))
+        with self._sharing_active(plan):
+            return list(self.iterate(plan))
 
     def iterate(self, plan: qplan.Operator) -> Iterator[Row]:
-        """The iterator-model ``open/next/close`` pipeline for one operator."""
+        """The iterator-model pipeline for one operator (shared subplans are
+        executed once and replayed from the materialised cache)."""
+        cached = self._sharing_replay(plan)
+        return cached if cached is not None else self._dispatch(plan)
+
+    def _dispatch(self, plan: qplan.Operator) -> Iterator[Row]:
+        """The ``open/next/close`` pipeline for one operator."""
         if isinstance(plan, qplan.Scan):
             return self._scan(plan)
         if isinstance(plan, qplan.Select):
@@ -60,6 +70,8 @@ class VolcanoEngine:
             return self._aggregate(plan)
         if isinstance(plan, qplan.Sort):
             return self._sort(plan)
+        if isinstance(plan, qplan.TopK):
+            return self._topk(plan)
         if isinstance(plan, qplan.Limit):
             return self._limit(plan)
         raise VolcanoError(f"unknown operator {type(plan).__name__}")
@@ -202,6 +214,13 @@ class VolcanoEngine:
                 accumulators[i] = fold_value(agg, accumulators[i],
                                              fn(row) if fn is not None else None)
 
+        # A global fold (no group keys) over an empty input is not an empty
+        # result: it is one row of neutral aggregates — count=0, sum=0,
+        # avg/min/max None — exactly what finalising untouched accumulators
+        # produces.  Seed the single group so that row is emitted.
+        if not groups and not plan.group_keys:
+            groups[()] = [initial_accumulator(a) for a in aggs]
+
         for key, accumulators in groups.items():
             out = dict(zip(key_names, key))
             for agg, accumulator in zip(aggs, accumulators):
@@ -214,22 +233,30 @@ class VolcanoEngine:
         # Stable sorts applied from the least-significant key to the most
         # significant one implement multi-key ASC/DESC ordering.  Each pass is
         # decorate-sort-undecorate: the key column is computed once per row
-        # instead of O(n log n) times inside the comparator.
+        # instead of O(n log n) times inside the comparator; ``pass_keys``
+        # applies the shared null contract (nulls last for asc).
         for expr, order in reversed(plan.keys):
             key_fn = compile_row(expr)
-            keys = [key_fn(row) for row in rows]
+            keys = pass_keys([key_fn(row) for row in rows])
             permutation = sorted(range(len(rows)), key=keys.__getitem__,
                                  reverse=(order == "desc"))
             rows = [rows[i] for i in permutation]
         return iter(rows)
 
+    def _topk(self, plan: qplan.TopK) -> Iterator[Row]:
+        rows = list(self.iterate(plan.child))
+        keys = [(compile_row(expr), order) for expr, order in plan.keys]
+        return iter(topk_rows(rows, keys, plan.count))
+
     def _limit(self, plan: qplan.Limit) -> Iterator[Row]:
+        if plan.count <= 0:
+            return
         count = 0
         for row in self.iterate(plan.child):
+            yield row
+            count += 1
             if count >= plan.count:
                 break
-            count += 1
-            yield row
 
 
 # ---------------------------------------------------------------------------

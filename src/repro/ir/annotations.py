@@ -9,7 +9,7 @@ cardinality, or that a user-defined function is pure.
 """
 from __future__ import annotations
 
-from typing import Any, Dict, Iterator, Optional, Tuple
+from typing import Any, Dict, Iterator, Tuple
 
 from .nodes import Sym
 

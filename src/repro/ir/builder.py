@@ -10,12 +10,11 @@ expression has already been emitted in a visible scope.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
 
 from . import ops as op_registry
-from .effects import Effect
 from .nodes import Atom, Block, Const, Expr, Program, Stmt, Sym, is_atom
-from .types import BOOL, DATE, FLOAT, INT, STRING, Type, UNIT, UNKNOWN
+from .types import BOOL, FLOAT, INT, STRING, Type, UNIT, UNKNOWN
 
 
 class _Scope:

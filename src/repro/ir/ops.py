@@ -13,7 +13,7 @@ point the paper makes for choosing ANF as the IR (Section 3.3).
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Optional
 
 from .effects import (ALLOC, CONTROL, Effect, IO, PURE, READ, READ_WRITE,

@@ -11,7 +11,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 
 from . import ops as op_registry
 from .effects import Effect
-from .nodes import Atom, Block, Const, Expr, Program, Stmt, Sym
+from .nodes import Atom, Block, Expr, Program, Stmt, Sym
 
 
 def iter_stmts(block: Block, recursive: bool = True) -> Iterator[Tuple[Stmt, Block]]:

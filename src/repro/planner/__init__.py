@@ -3,22 +3,27 @@
 A rule-based rewrite framework over :mod:`repro.dsl.qplan` operator trees,
 mirroring the fixpoint organization of the DSL stack one level up: predicate
 pushdown, field pruning, constant folding, nested-loop-to-hash-join
-conversion and (opt-in) statistics-driven join-strategy selection.
+conversion, top-k fusion and statistics-driven join-strategy selection
+(build-side swap, greedy join reordering) — all on by default.
 
 Entry points:
 
 * :class:`Planner` / :func:`optimize_plan` — optimize a plan against a
   catalog,
-* :class:`PlannerOptions` — choose the rule set (the default set preserves
-  row order and float accumulation order exactly),
+* :class:`PlannerOptions` — choose the rule set;
+  ``PlannerOptions.exact_order()`` keeps only the rules that preserve row
+  order and float accumulation order exactly,
+* :func:`sort_contract` — the ordering guarantee of a plan's output, which
+  is what allows the order-perturbing join rules to run by default,
 * :meth:`Planner.explain` — before/after trees plus the applied-rule log.
 """
 from .cardinality import CardinalityEstimator
+from .ordering import SortContract, sort_contract
 from .planner import Planner, PlannerOptions, PlanReport, optimize_plan
 from .pruning import prune_plan
 from .rewrite import PlannerContext, PlannerError, PlanRule, apply_rules_fixpoint
 from .rules import (BuildSideSwap, ConstantFolding, EquiJoinConversion,
-                    PredicatePushdown)
+                    PredicatePushdown, TopKFusion)
 
 __all__ = [
     "BuildSideSwap",
@@ -32,7 +37,10 @@ __all__ = [
     "PlanReport",
     "PlanRule",
     "PredicatePushdown",
+    "SortContract",
+    "TopKFusion",
     "apply_rules_fixpoint",
     "optimize_plan",
     "prune_plan",
+    "sort_contract",
 ]

@@ -80,7 +80,7 @@ class CardinalityEstimator:
             return self._estimate_agg(plan)
         if isinstance(plan, Q.Sort):
             return self.estimate_rows(plan.child)
-        if isinstance(plan, Q.Limit):
+        if isinstance(plan, (Q.Limit, Q.TopK)):
             return min(float(plan.count), self.estimate_rows(plan.child))
         return _UNKNOWN_TABLE_ROWS
 

@@ -1,0 +1,79 @@
+"""Order contracts: which output ordering a plan *guarantees*.
+
+The planner's default rules preserve row order exactly, so optimized plans
+can be checked against raw ones with plain list equality.  The cost-based
+``join_strategy`` rules (build-side swap, greedy join reordering) preserve
+only the result **multiset** — which is fine, because almost every TPC-H
+query ends in an explicit ``Sort``: whatever a join rewrite does to
+intermediate row order, the final output is still fully determined up to
+ties on the sort keys (and, through reordered float accumulation, up to the
+last bits of aggregated floats).
+
+:func:`sort_contract` makes that guarantee explicit.  It walks a plan from
+the root and returns the sort keys the output is *provably* ordered by:
+
+* ``Sort`` and ``TopK`` establish their key list,
+* ``Limit`` keeps a prefix of an ordered stream ordered,
+* ``Select`` filters without reordering (all engines are order-stable),
+* ``Project`` keeps a key that it passes through — either verbatim (the key
+  expression's columns are identity projections) or renamed (a projection
+  computes exactly the key expression) — and truncates the contract at the
+  first key it drops (a key prefix is still a valid ordering guarantee),
+* joins and aggregations destroy ordering (hash-bucket emission order), and
+  scans promise nothing.
+
+The benchmark harness' result comparator
+(:func:`repro.bench.harness.rows_equivalent`) consumes the contract: rows
+must agree position-by-position on the contract keys, and may be permuted
+only within runs of equal keys.  That is the strongest comparison the
+``join_strategy`` rules can honour, and it is what lets them be enabled by
+default.
+"""
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..dsl import expr as E
+from ..dsl import qplan as Q
+from ..dsl.expr_compile import expr_fingerprint
+
+#: a plan's ordering guarantee: ``((key_expr, "asc"|"desc"), ...)`` over its
+#: *output* columns, or ``None`` when only the multiset is guaranteed
+SortContract = Optional[Tuple[Tuple[E.Expr, str], ...]]
+
+
+def sort_contract(plan: Q.Operator) -> SortContract:
+    """The sort keys ``plan``'s output is guaranteed to be ordered by.
+
+    Keys are expressed over the plan's own output columns, so a comparator
+    can evaluate them directly on result rows.  ``None`` means the plan
+    guarantees no ordering (its result is a multiset).
+    """
+    if isinstance(plan, (Q.Sort, Q.TopK)):
+        return tuple(plan.keys)
+    if isinstance(plan, (Q.Limit, Q.Select)):
+        return sort_contract(plan.child)
+    if isinstance(plan, Q.Project):
+        return _through_projection(sort_contract(plan.child), plan.projections)
+    return None
+
+
+def _through_projection(contract: SortContract,
+                        projections: Tuple[Tuple[str, E.Expr], ...]) -> SortContract:
+    """Re-express a child contract over the projection's output columns."""
+    if not contract:
+        return None
+    renames = {expr_fingerprint(expr): name for name, expr in projections}
+    identity = {name for name, expr in projections
+                if isinstance(expr, E.Col) and expr.side is None
+                and expr.name == name}
+    kept = []
+    for expr, order in contract:
+        rename = renames.get(expr_fingerprint(expr))
+        if rename is not None:
+            kept.append((E.Col(rename), order))
+        elif all(column in identity for column in E.columns_used(expr)):
+            kept.append((expr, order))
+        else:
+            break  # later keys only order rows *within* ties of this one
+    return tuple(kept) if kept else None

@@ -7,17 +7,25 @@ paper's terms it is one more transformation level at the highest abstraction
 layer, organized exactly like the lower ones: small rules applied to a fixed
 point, each at the level where the rewrite is trivial to express.
 
-Default rule set (order- and value-preserving; optimized plans return
-row-identical results on every engine):
+Default rule set:
 
 1. constant folding over scalar expression trees,
 2. predicate pushdown with conjunct splitting,
 3. equi-predicate extraction (inner nested-loop join -> hash join),
-4. scan field / projection / aggregate pruning.
+4. top-k fusion (``Limit`` over ``Sort`` -> bounded-heap ``TopK``),
+5. statistics-driven join strategy: build-side swap and greedy join-chain
+   reordering,
+6. scan field / projection / aggregate pruning.
 
-The statistics-driven ``join_strategy`` rules (build-side swap, greedy join
-reordering) preserve the result multiset but not intermediate row order —
-which also perturbs float aggregation order — so they are opt-in.
+Rules 1-4 and 6 are order- and value-preserving.  The ``join_strategy``
+rules (5) preserve the result multiset but not intermediate row order —
+which also perturbs float accumulation order — and run by default under the
+planner's **order contract** (:mod:`repro.planner.ordering`): the output is
+still ordered by the plan's explicit sort keys, so results are compared
+multiset-wise within runs of equal keys and with float tolerance
+(:func:`repro.bench.harness.rows_equivalent`).  Pass
+``PlannerOptions.exact_order()`` to disable them when bit-for-bit,
+order-identical results are required.
 """
 from __future__ import annotations
 
@@ -30,34 +38,42 @@ from .pruning import prune_plan
 from .reorder import reorder_join_chains
 from .rewrite import (PlannerContext, PlanRule, apply_rules_fixpoint)
 from .rules import (BuildSideSwap, ConstantFolding, EquiJoinConversion,
-                    PredicatePushdown)
+                    PredicatePushdown, TopKFusion)
 
 
 @dataclass(frozen=True)
 class PlannerOptions:
     """Which rules the planner applies.
 
-    The defaults are the exact-parity rule set; ``join_strategy=True`` adds
-    the cost-based build-side swap and greedy join reordering, which keep the
-    result multiset but may change row order and float accumulation order.
+    Every rule is on by default, including the cost-based ``join_strategy``
+    pair (build-side swap, greedy join reordering), which keeps the result
+    multiset and the order contract's sort keys but may change tie order and
+    float accumulation order.  ``exact_order()`` disables exactly those two
+    for callers that need bit-for-bit, order-identical results.
     """
 
     constant_folding: bool = True
     predicate_pushdown: bool = True
     equi_join_conversion: bool = True
     field_pruning: bool = True
-    join_strategy: bool = False
+    topk_fusion: bool = True
+    join_strategy: bool = True
     max_iterations: int = 8
 
     @classmethod
     def all_rules(cls) -> "PlannerOptions":
-        return cls(join_strategy=True)
+        return cls()
+
+    @classmethod
+    def exact_order(cls) -> "PlannerOptions":
+        """The order- and value-preserving subset (no cost-based join rules)."""
+        return cls(join_strategy=False)
 
     @classmethod
     def none(cls) -> "PlannerOptions":
         return cls(constant_folding=False, predicate_pushdown=False,
                    equi_join_conversion=False, field_pruning=False,
-                   join_strategy=False)
+                   topk_fusion=False, join_strategy=False)
 
 
 @dataclass
@@ -148,6 +164,8 @@ class Planner:
             rules.append(PredicatePushdown())
         if self.options.equi_join_conversion:
             rules.append(EquiJoinConversion())
+        if self.options.topk_fusion:
+            rules.append(TopKFusion())
         return rules
 
     def _run(self, plan: Q.Operator):

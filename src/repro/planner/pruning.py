@@ -63,12 +63,12 @@ class _Pruner:
             return self._prune_join(node, needed)
         if isinstance(node, Q.Agg):
             return self._prune_agg(node, needed)
-        if isinstance(node, Q.Sort):
+        if isinstance(node, (Q.Sort, Q.TopK)):
             child_needed = set(needed)
             for expr, _ in node.keys:
                 child_needed |= _expr_columns(expr)
             child = self.prune(node.child, child_needed)
-            return node if child is node.child else Q.Sort(child, node.keys)
+            return node if child is node.child else node.with_children([child])
         if isinstance(node, Q.Limit):
             child = self.prune(node.child, needed)
             return node if child is node.child else Q.Limit(child, node.count)

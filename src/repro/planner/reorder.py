@@ -1,4 +1,4 @@
-"""Statistics-driven greedy reordering of inner hash-join chains (opt-in).
+"""Statistics-driven greedy reordering of inner hash-join chains.
 
 TPC-H plans are left-deep chains of inner hash joins: each join builds on the
 accumulated intermediate result and probes with a new base input.  Given data
@@ -13,8 +13,9 @@ two specific chain inputs (unsided column references, each side's columns
 within a single input).  Cross joins (literal keys), sided references,
 non-equi residuals or multi-input conjuncts make the chain ineligible and it
 is left exactly as written.  Like the build-side swap, reordering preserves
-the result multiset but not intermediate row order, so it only runs under
-the ``join_strategy`` planner option.
+the result multiset but not intermediate row order; it runs by default under
+the planner's order contract and is disabled by
+``PlannerOptions.exact_order()`` (``join_strategy=False``).
 """
 from __future__ import annotations
 

@@ -13,10 +13,14 @@ plans with plain ``==`` on the result lists:
 * **EquiJoinConversion** replaces an inner nested-loop join by a hash join
   whose build/probe orientation reproduces the nested loop's left-major
   emission order exactly.
-* **BuildSideSwap** (cost-based, opt-in) *does* change intermediate row
-  order: it preserves the result multiset but may perturb float aggregate
-  sums in the last bits and tie order under top-level sorts, which is why the
-  ``join_strategy`` option is off by default.
+* **TopKFusion** fuses ``Limit`` over ``Sort`` into the bounded-heap ``TopK``
+  operator; heap selection is stable with input-order tie-breaking, so the
+  fused plan returns exactly the rows (and order) of the sort-then-limit.
+* **BuildSideSwap** (cost-based) *does* change intermediate row order: it
+  preserves the result multiset but may perturb float aggregate sums in the
+  last bits and tie order under top-level sorts.  It runs by default under
+  the planner's order contract (see :mod:`repro.planner.ordering`); the
+  ``join_strategy`` option turns it off for exact-order comparisons.
 """
 from __future__ import annotations
 
@@ -299,16 +303,48 @@ class EquiJoinConversion(PlanRule):
                           "inner", conjoin(rest))
 
 
+class TopKFusion(PlanRule):
+    """Fuse ``Limit(Sort(x))`` into the bounded-heap ``TopK`` operator.
+
+    The engines execute ``TopK`` with :func:`heapq.nsmallest` over composite
+    encoded keys (:mod:`repro.engine.sortkeys`): O(n log k) instead of a full
+    O(n log n) sort, and the sorted prefix is the only thing ever gathered.
+    Heap selection breaks ties by input position, exactly like the engines'
+    stable multi-pass sorts, so the rewrite is value- **and order-**
+    preserving and belongs to the default (exact-parity) rule set.
+
+    ``Limit`` over an existing ``TopK`` tightens (or drops into) the fused
+    operator, so stacked limits converge to a single bounded heap.
+    """
+
+    name = "topk-fusion"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if not isinstance(node, Q.Limit):
+            return None
+        child = node.child
+        if isinstance(child, Q.Sort):
+            return Q.TopK(child.child, child.keys, max(0, node.count))
+        if isinstance(child, Q.TopK):
+            if node.count >= child.count:
+                return child
+            return Q.TopK(child.child, child.keys, max(0, node.count))
+        if isinstance(child, Q.Limit):
+            return Q.Limit(child.child, max(0, min(node.count, child.count)))
+        return None
+
+
 class BuildSideSwap(PlanRule):
-    """Cost-based build-side selection for inner hash joins (opt-in).
+    """Cost-based build-side selection for inner hash joins.
 
     Hash joins build on their left input; when statistics say the left input
     is substantially larger than the right one, swapping the inputs (and the
     keys, and the residual's side annotations) builds the smaller hash table
     and streams the larger input through the probe.  The result *multiset*
     is identical but row order changes from probe-major over the old right
-    to probe-major over the old left, so this rule is only enabled by the
-    order-relaxing ``join_strategy`` planner option.
+    to probe-major over the old left — the relaxation the order contract
+    permits.  The rule runs by default; ``PlannerOptions.exact_order()``
+    (``join_strategy=False``) disables it.
     """
 
     name = "build-side-swap"

@@ -26,7 +26,7 @@ configuration      stack / optimizations
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import List
 
 from ..transforms.control_flow import BranchlessBooleans
 from ..transforms.dce import DeadCodeElimination

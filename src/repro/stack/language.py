@@ -26,8 +26,8 @@ strictly downwards (expressibility principle); the stack validator in
 """
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
+from dataclasses import dataclass
+from typing import FrozenSet, List, Tuple
 
 from ..ir import ops as ir_ops
 from ..ir.nodes import Program

@@ -11,12 +11,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence
 
 from .context import CompilationContext
 from .language import Language, LanguageError
-from .transformation import (Lowering, Optimization, Transformation,
-                             TransformationError, apply_fixpoint)
+from .transformation import Lowering, Optimization, apply_fixpoint
 
 
 class StackValidationError(Exception):

@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
 from .layouts import ColumnarTable
-from .schema import Schema, SchemaError, TableSchema
+from .schema import Schema, TableSchema
 from .statistics import Statistics, compute_table_statistics
 
 

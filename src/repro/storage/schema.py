@@ -9,7 +9,7 @@ annotations live.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..ir.types import DATE, FLOAT, INT, STRING, Type
 

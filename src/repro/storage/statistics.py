@@ -11,7 +11,6 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional
 
-from ..ir.types import DATE, FLOAT, INT, STRING
 from .layouts import ColumnarTable
 
 

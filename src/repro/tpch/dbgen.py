@@ -22,7 +22,7 @@ from typing import Dict, List
 from .. import dates
 from ..storage.catalog import Catalog
 from ..storage.layouts import ColumnarTable
-from .schema import ALL_TABLES, tpch_schema
+from .schema import tpch_schema
 
 # ---------------------------------------------------------------------------
 # Official TPC-H value domains.

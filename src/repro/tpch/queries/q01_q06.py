@@ -8,10 +8,8 @@ LegoBase/DBLAB query plans do.
 """
 from __future__ import annotations
 
-from ... import dates
-from ...dsl.expr import and_all, case, col, date, like, lit
-from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, NestedLoopJoin, Project, Scan, \
-    Select, Sort
+from ...dsl.expr import and_all, col, date, like
+from ...dsl.qplan import (Agg, AggSpec, HashJoin, Limit, Project, Scan, Select, Sort)
 
 
 def q1():

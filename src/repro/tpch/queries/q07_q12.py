@@ -1,7 +1,7 @@
 """TPC-H queries 7-12 as QPlan physical plans."""
 from __future__ import annotations
 
-from ...dsl.expr import Col, and_all, case, col, date, in_list, like, lit, year
+from ...dsl.expr import and_all, case, col, date, in_list, like, lit, year
 from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, Project, Scan, Select, Sort
 
 

@@ -2,8 +2,7 @@
 from __future__ import annotations
 
 from ...dsl.expr import and_all, case, col, date, in_list, like, lit
-from ...dsl.qplan import Agg, AggSpec, HashJoin, Limit, NestedLoopJoin, Project, Scan, \
-    Select, Sort
+from ...dsl.qplan import (Agg, AggSpec, HashJoin, Limit, Project, Scan, Select, Sort)
 
 
 def q13():

@@ -1,7 +1,7 @@
 """Shared program-analysis helpers for the IR-level transformations."""
 from __future__ import annotations
 
-from typing import Dict, Optional, Set
+from typing import Dict, Optional
 
 from ..ir.nodes import Atom, Block, Program, Stmt, Sym
 from ..ir.traversal import iter_program_stmts

@@ -9,9 +9,9 @@ guarantees it) and boolean-valued.
 """
 from __future__ import annotations
 
-from typing import Optional, Set
+from typing import Optional
 
-from ..ir.nodes import Atom, Const, Program, Stmt, Sym
+from ..ir.nodes import Atom, Const, Program, Stmt
 from ..ir.traversal import BlockRewriter, rewrite_program
 from ..stack.context import CompilationContext
 from ..stack.language import Language

@@ -16,7 +16,7 @@ Two pieces live here:
 """
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Dict
 
 from ..dsl import expr as E
 from ..dsl import qmonad as M

@@ -24,13 +24,13 @@ configuration is active such maps are only marked here and left intact.
 """
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..ir.nodes import Atom, Block, Const, Expr, Program, Stmt, Sym
 from ..ir.traversal import BlockRewriter, rewrite_program, substitute_block
 from ..ir.types import BOOL, INT
 from ..stack.context import CompilationContext
-from ..stack.language import Language, SCALITE, SCALITE_LIST, SCALITE_MAP_LIST
+from ..stack.language import Language, SCALITE_MAP_LIST
 from ..stack.transformation import Lowering
 
 

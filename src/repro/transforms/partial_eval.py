@@ -7,7 +7,7 @@ time; the statement disappears and its uses are replaced by the folded value.
 from __future__ import annotations
 
 import operator
-from typing import Any, Optional
+from typing import Optional
 
 from ..ir.nodes import Const, Program, Stmt
 from ..ir.traversal import BlockRewriter, rewrite_program

@@ -36,8 +36,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..dsl import expr as E
 from ..dsl import qplan as Q
 from ..ir.builder import IRBuilder
-from ..ir.nodes import Atom, Block, Const, Program, Sym
-from ..ir.types import INT, UNKNOWN
+from ..ir.nodes import Atom, Const, Program, Sym
 from ..stack.context import CompilationContext
 from ..stack.language import Language, QPLAN
 from ..stack.transformation import Lowering
@@ -131,6 +130,8 @@ class _PushCompiler:
             self._aggregate(node, consume)
         elif isinstance(node, Q.Sort):
             self._sort(node, consume)
+        elif isinstance(node, Q.TopK):
+            self._topk(node, consume)
         elif isinstance(node, Q.Limit):
             self._limit(node, consume)
         else:
@@ -503,6 +504,15 @@ class _PushCompiler:
             attrs.update(self._mmap_attrs(node.group_keys[0][1], None))
         table = b.emit("hashmap_agg_new", [], attrs=attrs, hint="agg")
 
+        if not node.group_keys:
+            # Seed the single group of a global fold before any input row is
+            # consumed: an all-``None`` update creates the group's neutral
+            # accumulators without contributing to any aggregate, so an empty
+            # input still finalises to one row (count=0, sum=0, others None).
+            seed = [Const(None) for _ in node.aggregates]
+            b.emit("hashmap_agg_update", [table, Const(0)] + seed,
+                   attrs={"aggs": agg_kinds})
+
         def update(row: RowVals) -> None:
             if not node.group_keys:
                 key: Atom = Const(0)
@@ -569,6 +579,15 @@ class _PushCompiler:
 
         b.foreach(sorted_list, emit, hint="e")
 
+    def _topk(self, node: Q.TopK, consume: Consumer) -> None:
+        """Fused Sort+Limit.  The compiled stacks lower it back to its
+        unfused form — an ordinary sort followed by a bounded take — by
+        delegating to the Limit/Sort emission: the runtime sort shares the
+        null contract of :mod:`repro.engine.sortkeys`, so rows and order are
+        identical to the direct engines' heap-based execution."""
+        self._limit(Q.Limit(Q.Sort(node.child, node.keys), max(0, node.count)),
+                    consume)
+
     def _limit(self, node: Q.Limit, consume: Consumer) -> None:
         b = self.b
         fields = Q.output_fields(node.child, self.catalog)
@@ -579,7 +598,7 @@ class _PushCompiler:
             self.b.emit("list_append", [buffer, record])
 
         self.produce(node.child, collect)
-        taken = b.emit("list_take", [buffer, Const(node.count)], hint="taken")
+        taken = b.emit("list_take", [buffer, Const(max(0, node.count))], hint="taken")
 
         def emit(element: Sym) -> None:
             consume(self._bucket_rows(element, fields))

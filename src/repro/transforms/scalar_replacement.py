@@ -8,7 +8,7 @@ local variables.
 """
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Optional, Tuple
 
 from ..ir.nodes import Atom, Program, Stmt, Sym
 from ..ir.traversal import BlockRewriter, rewrite_program

@@ -1,7 +1,7 @@
 """Unit tests for the QueryCompiler facade."""
 import pytest
 
-from repro.codegen.compiler import CompilerError, QueryCompiler
+from repro.codegen.compiler import QueryCompiler
 from repro.dsl import qplan as Q
 from repro.dsl.expr import col
 from repro.engine.volcano import execute

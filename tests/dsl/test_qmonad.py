@@ -3,7 +3,7 @@ import pytest
 
 from repro.codegen.compiler import QueryCompiler
 from repro.dsl import qplan as Q
-from repro.dsl.expr import BinOp, col, like
+from repro.dsl.expr import BinOp, col
 from repro.dsl.qmonad import QMonadError, QueryMonad, to_qplan
 from repro.engine.volcano import execute
 from repro.stack import CompilationContext, OptimizationFlags, QMONAD
@@ -55,6 +55,88 @@ class TestConstruction:
     def test_unknown_operator_rejected(self):
         with pytest.raises(QMonadError):
             to_qplan(QueryMonad("teleport", {}))
+
+
+class TestToQPlanRoundTrip:
+    """``to_qplan`` produces exactly the hand-built plan for every operator —
+    checked by structural fingerprint equality, the same notion of identity
+    the compiled-query cache uses."""
+
+    def assert_same_plan(self, query, expected):
+        assert Q.plan_fingerprint(to_qplan(query)) == Q.plan_fingerprint(expected)
+
+    def test_table(self):
+        self.assert_same_plan(QueryMonad.table("R"), Q.Scan("R"))
+        self.assert_same_plan(QueryMonad.table("R", fields=("r_id", "r_name")),
+                              Q.Scan("R", ("r_id", "r_name")))
+
+    def test_filter(self):
+        self.assert_same_plan(
+            QueryMonad.table("R").filter(col("r_name") == "R1"),
+            Q.Select(Q.Scan("R"), col("r_name") == "R1"))
+
+    def test_map(self):
+        self.assert_same_plan(
+            QueryMonad.table("R").map([("key", col("r_id") + 1)]),
+            Q.Project(Q.Scan("R"), [("key", col("r_id") + 1)]))
+
+    @pytest.mark.parametrize("kind", Q.JOIN_KINDS)
+    def test_hash_join_kinds(self, kind):
+        self.assert_same_plan(
+            QueryMonad.table("R").hashJoin(QueryMonad.table("S"),
+                                           col("r_sid"), col("s_rid"), kind=kind),
+            Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"),
+                       kind=kind))
+
+    def test_hash_join_residual(self):
+        residual = col("r_id") < col("s_id")
+        self.assert_same_plan(
+            QueryMonad.table("R").hashJoin(QueryMonad.table("S"),
+                                           col("r_sid"), col("s_rid"),
+                                           residual=residual),
+            Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_sid"), col("s_rid"),
+                       residual=residual))
+
+    def test_group_by_with_having(self):
+        aggregates = [Q.AggSpec("sum", col("s_val"), "total")]
+        having = col("total") > 2.0
+        self.assert_same_plan(
+            QueryMonad.table("S").groupBy([("rid", col("s_rid"))], aggregates,
+                                          having=having),
+            Q.Agg(Q.Scan("S"), [("rid", col("s_rid"))], tuple(aggregates),
+                  having=having))
+
+    def test_folds(self):
+        self.assert_same_plan(QueryMonad.table("S").count("n"),
+                              Q.Agg(Q.Scan("S"), (),
+                                    (Q.AggSpec("count", None, "n"),)))
+        self.assert_same_plan(QueryMonad.table("S").sum(col("s_val"), "t"),
+                              Q.Agg(Q.Scan("S"), (),
+                                    (Q.AggSpec("sum", col("s_val"), "t"),)))
+        self.assert_same_plan(QueryMonad.table("S").avg(col("s_val"), "m"),
+                              Q.Agg(Q.Scan("S"), (),
+                                    (Q.AggSpec("avg", col("s_val"), "m"),)))
+
+    def test_sort_by_and_take(self):
+        chain = (QueryMonad.table("R")
+                 .sortBy([(col("r_id"), "desc")])
+                 .take(2))
+        self.assert_same_plan(
+            chain, Q.Limit(Q.Sort(Q.Scan("R"), [(col("r_id"), "desc")]), 2))
+
+    def test_take_sort_chain_fuses_to_topk_after_planning(self, tiny_catalog):
+        from repro.planner import Planner, PlannerOptions
+
+        chain = (QueryMonad.table("R")
+                 .sortBy([(col("r_id"), "desc"), (col("r_name"), "asc")])
+                 .take(3))
+        options = PlannerOptions(field_pruning=False, join_strategy=False)
+        optimized = Planner(tiny_catalog, options).optimize(to_qplan(chain))
+        expected = Q.TopK(Q.Scan("R"),
+                          [(col("r_id"), "desc"), (col("r_name"), "asc")], 3)
+        assert Q.plan_fingerprint(optimized) == Q.plan_fingerprint(expected)
+        assert execute(optimized, tiny_catalog) == \
+            execute(to_qplan(chain), tiny_catalog)
 
 
 class TestFusionRules:

@@ -2,7 +2,7 @@
 import pytest
 
 from repro.dsl import qplan
-from repro.dsl.expr import Col, col, lit
+from repro.dsl.expr import Col, col
 from repro.storage.catalog import Catalog
 from repro.storage.layouts import ColumnarTable
 from repro.storage.schema import TableSchema, float_column, int_column, string_column

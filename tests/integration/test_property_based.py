@@ -17,7 +17,7 @@ from repro.codegen import runtime
 from repro.codegen.compiler import QueryCompiler
 from repro.codegen.unparser import PythonUnparser
 from repro.dsl import qplan as Q
-from repro.dsl.expr import col, lit
+from repro.dsl.expr import col
 from repro.engine.volcano import execute
 from repro.ir import IRBuilder, make_program
 from repro.ir.nodes import Sym

@@ -1,7 +1,7 @@
 """Unit tests for the ANF builder and its hash-consing behaviour."""
 import pytest
 
-from repro.ir import IRBuilder, Const, Sym, make_program, program_to_str
+from repro.ir import IRBuilder, Sym, make_program, program_to_str
 from repro.ir.types import BOOL, FLOAT, INT, STRING, UNIT
 
 

@@ -2,7 +2,7 @@
 import pytest
 
 from repro.ir import Const, Expr, Sym, effect_of, is_registered
-from repro.ir.effects import ALLOC, CONTROL, Effect, IO, PURE, READ, WRITE
+from repro.ir.effects import ALLOC, CONTROL, IO, PURE, READ, WRITE
 from repro.ir.ops import REGISTRY
 
 

@@ -1,5 +1,4 @@
 """Unit tests for the planner's expression analysis and rewriting helpers."""
-import pytest
 
 from repro.dsl.expr import (BinOp, Col, Lit, UnaryOp, case, col, columns_used,
                             evaluate, in_list, like, lit, substr, year)

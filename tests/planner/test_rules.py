@@ -10,13 +10,13 @@ from repro.dsl import qplan as Q
 from repro.dsl.expr import BinOp, Col, col, columns_used, lit
 from repro.engine.volcano import execute as volcano_execute
 from repro.engine.vectorized import execute as vectorized_execute
-from repro.planner import (BuildSideSwap, CardinalityEstimator, Planner,
-                           PlannerContext, PlannerError, PlannerOptions,
-                           PlanRule, apply_rules_fixpoint, prune_plan)
+from repro.planner import (CardinalityEstimator, Planner, PlannerContext, PlannerError, PlannerOptions, PlanRule, apply_rules_fixpoint, prune_plan)
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema, int_column, string_column
 
-STRUCTURE = PlannerOptions(field_pruning=False)
+#: structural-assertion options: no pruning and no cost-based join rewrites,
+#: so the rewritten tree shape is determined by the rule under test alone
+STRUCTURE = PlannerOptions(field_pruning=False, join_strategy=False)
 
 
 def check_parity(raw, catalog, options=None, ordered=True):
@@ -211,9 +211,15 @@ class TestJoinStrategyRules:
         assert optimized.left.table == "dima"
         assert optimized.residual.left.side == "right"
 
-    def test_no_swap_without_the_option(self, skewed_catalog):
+    def test_swap_fires_under_the_default_options(self, skewed_catalog):
         raw = Q.HashJoin(Q.Scan("fact"), Q.Scan("dima"), col("f_a"), col("a_id"))
-        optimized = Planner(skewed_catalog, STRUCTURE).optimize(raw)
+        optimized = Planner(skewed_catalog).optimize(raw)
+        assert optimized.left.table == "dima"
+
+    def test_no_swap_under_exact_order_options(self, skewed_catalog):
+        raw = Q.HashJoin(Q.Scan("fact"), Q.Scan("dima"), col("f_a"), col("a_id"))
+        optimized = Planner(skewed_catalog,
+                            PlannerOptions.exact_order()).optimize(raw)
         assert optimized.left.table == "fact"
 
     def test_greedy_reorder_starts_from_the_smallest_input(self, skewed_catalog):

@@ -1,23 +1,31 @@
-"""Planner parity: optimized plans must return *identical* results.
+"""Planner parity under the order-contract framework.
 
-The default planner rule set (pushdown, pruning, folding, equi-join
-conversion) is order- and value-preserving by construction, so these tests
-compare optimized against raw plans with plain ``==`` on the result lists —
-same rows, same values (bit-for-bit floats), same order — across every TPC-H
-query on the interpreter, the vectorized engine and the template expander,
-and on a representative subset through the full compiled stack.
+Two suites:
 
-The opt-in ``join_strategy`` rules preserve the result multiset but may
-change row order and float accumulation order; they are checked separately
-under a canonicalisation that rounds floats.
+* **Exact parity** — ``PlannerOptions.exact_order()`` (pushdown, pruning,
+  folding, equi-join conversion, top-k fusion) is order- and value-preserving
+  by construction, so optimized plans are compared against raw ones with
+  plain ``==`` on the result lists — same rows, same values (bit-for-bit
+  floats), same order — across every TPC-H query on the interpreter, the
+  vectorized engine and the template expander, and on a representative
+  subset through the full compiled stack.
+
+* **Contract parity** — the *default* options additionally enable the
+  cost-based join-strategy rules, which preserve the result multiset and the
+  plan's sort contract but not tie order or float accumulation order.  All
+  22 queries are checked on all three direct engines with the sort-key-aware
+  multiset comparator (:func:`repro.bench.harness.rows_equivalent`) against
+  the raw plan's :func:`repro.planner.sort_contract`.
 """
 import pytest
 
+from repro.bench.harness import assert_rows_equivalent, rows_equivalent
 from repro.codegen.compiler import QueryCompiler
+from repro.dsl import qplan as Q
 from repro.engine.template_expander import TemplateExpander
 from repro.engine.vectorized import VectorizedEngine
 from repro.engine.volcano import VolcanoEngine
-from repro.planner import Planner, PlannerOptions
+from repro.planner import Planner, PlannerOptions, sort_contract
 from repro.stack.configs import build_config
 from repro.tpch.queries import QUERY_NAMES, build_query
 
@@ -28,74 +36,126 @@ STACK_SUBSET = ("Q1", "Q3", "Q5", "Q9", "Q13", "Q15", "Q19", "Q21")
 #: queries with join chains / residuals for the cost-based strategy check
 STRATEGY_SUBSET = ("Q2", "Q5", "Q7", "Q8", "Q9", "Q11", "Q21", "Q22")
 
+#: queries ending in Sort+Limit, which the planner fuses into TopK
+TOPK_QUERIES = ("Q2", "Q3", "Q10", "Q18")
+
 
 @pytest.fixture(scope="module")
-def planner(tpch_catalog):
+def exact_planner(tpch_catalog):
+    return Planner(tpch_catalog, PlannerOptions.exact_order())
+
+
+@pytest.fixture(scope="module")
+def default_planner(tpch_catalog):
     return Planner(tpch_catalog)
 
 
-def rounded_canon(rows, digits=6):
-    def norm(value):
-        return round(value, digits) if isinstance(value, float) else value
-    return sorted(tuple(sorted((k, repr(norm(v))) for k, v in row.items()))
-                  for row in rows)
-
-
 class TestExactParity:
-    """Raw and optimized plans: identical rows, values and order."""
+    """Order-preserving rules: identical rows, values and order."""
 
     @pytest.mark.parametrize("query_name", QUERY_NAMES)
-    def test_interpreter(self, tpch_catalog, planner, query_name):
+    def test_interpreter(self, tpch_catalog, exact_planner, query_name):
         raw = build_query(query_name)
-        optimized = planner.optimize(build_query(query_name))
+        optimized = exact_planner.optimize(build_query(query_name))
         engine = VolcanoEngine(tpch_catalog)
         assert engine.execute(optimized) == engine.execute(raw)
 
     @pytest.mark.parametrize("query_name", QUERY_NAMES)
-    def test_vectorized(self, tpch_catalog, planner, query_name):
+    def test_vectorized(self, tpch_catalog, exact_planner, query_name):
         raw = build_query(query_name)
-        optimized = planner.optimize(build_query(query_name))
+        optimized = exact_planner.optimize(build_query(query_name))
         engine = VectorizedEngine(tpch_catalog)
         assert engine.execute(optimized) == engine.execute(raw)
 
     @pytest.mark.parametrize("query_name", QUERY_NAMES)
-    def test_template_expander(self, tpch_catalog, planner, query_name):
+    def test_template_expander(self, tpch_catalog, exact_planner, query_name):
         raw = build_query(query_name)
-        optimized = planner.optimize(build_query(query_name))
+        optimized = exact_planner.optimize(build_query(query_name))
         expander = TemplateExpander(tpch_catalog)
         assert expander.compile(optimized, query_name).run(tpch_catalog) == \
             expander.compile(raw, query_name).run(tpch_catalog)
 
     @pytest.mark.parametrize("query_name", STACK_SUBSET)
-    def test_compiled_five_level_stack(self, tpch_catalog, planner, query_name):
+    def test_compiled_five_level_stack(self, tpch_catalog, exact_planner, query_name):
         config = build_config("dblab-5")
         compiler = QueryCompiler(config.stack, config.flags)
         raw = compiler.compile(build_query(query_name), tpch_catalog, query_name)
-        optimized = compiler.compile(planner.optimize(build_query(query_name)),
+        optimized = compiler.compile(exact_planner.optimize(build_query(query_name)),
                                      tpch_catalog, query_name)
         assert optimized.run(tpch_catalog) == raw.run(tpch_catalog)
 
 
-class TestJoinStrategyParity:
-    """The cost-based rules keep the result multiset (floats rounded)."""
+class TestContractParity:
+    """Default options (cost-based join strategies on): every query on every
+    direct engine satisfies the raw plan's sort contract, with rows compared
+    as multisets within key ties and floats to accumulation tolerance."""
 
-    @pytest.mark.parametrize("query_name", STRATEGY_SUBSET)
-    def test_interpreter_multiset(self, tpch_catalog, query_name):
-        planner = Planner(tpch_catalog, PlannerOptions.all_rules())
+    @pytest.mark.parametrize("query_name", QUERY_NAMES)
+    def test_interpreter(self, tpch_catalog, default_planner, query_name):
+        self._check(tpch_catalog, default_planner, query_name,
+                    VolcanoEngine(tpch_catalog).execute)
+
+    @pytest.mark.parametrize("query_name", QUERY_NAMES)
+    def test_vectorized(self, tpch_catalog, default_planner, query_name):
+        self._check(tpch_catalog, default_planner, query_name,
+                    VectorizedEngine(tpch_catalog).execute)
+
+    @pytest.mark.parametrize("query_name", QUERY_NAMES)
+    def test_template_expander(self, tpch_catalog, default_planner, query_name):
+        expander = TemplateExpander(tpch_catalog)
+        self._check(tpch_catalog, default_planner, query_name,
+                    lambda plan: expander.compile(plan).run(tpch_catalog))
+
+    @pytest.mark.parametrize("query_name", STACK_SUBSET)
+    def test_compiled_five_level_stack(self, tpch_catalog, default_planner,
+                                       query_name):
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        self._check(tpch_catalog, default_planner, query_name,
+                    lambda plan: compiler.compile(plan, tpch_catalog,
+                                                  query_name).run(tpch_catalog))
+
+    @staticmethod
+    def _check(catalog, planner, query_name, execute):
         raw = build_query(query_name)
         optimized = planner.optimize(build_query(query_name))
-        engine = VolcanoEngine(tpch_catalog)
-        assert rounded_canon(engine.execute(optimized)) == \
-            rounded_canon(engine.execute(raw))
+        assert_rows_equivalent(execute(raw), execute(optimized),
+                               sort_keys=sort_contract(raw),
+                               context=query_name)
 
-    def test_strategy_rules_fire_somewhere(self, tpch_catalog):
-        planner = Planner(tpch_catalog, PlannerOptions.all_rules())
+    def test_strategy_rules_fire_somewhere(self, tpch_catalog, default_planner):
         fired = set()
         for query_name in STRATEGY_SUBSET:
-            report = planner.explain(build_query(query_name))
+            report = default_planner.explain(build_query(query_name))
             fired.update(a for a in report.applied
                          if a in ("join-reorder", "build-side-swap"))
         assert fired == {"join-reorder", "build-side-swap"}
+
+
+class TestTopKFusion:
+    """Sort+Limit queries fuse into TopK and stay row-identical."""
+
+    @pytest.mark.parametrize("query_name", TOPK_QUERIES)
+    def test_fusion_fires_and_is_exact(self, tpch_catalog, exact_planner,
+                                       query_name):
+        raw = build_query(query_name)
+        optimized = exact_planner.optimize(build_query(query_name))
+        assert any(isinstance(node, Q.TopK) for node in Q.walk(optimized))
+        assert not any(isinstance(node, (Q.Sort, Q.Limit))
+                       for node in Q.walk(optimized))
+        engine = VolcanoEngine(tpch_catalog)
+        assert engine.execute(optimized) == engine.execute(raw)
+
+    def test_comparator_rejects_wrong_key_order(self, tpch_catalog,
+                                                default_planner):
+        raw = build_query("Q3")
+        rows = VolcanoEngine(tpch_catalog).execute(raw)
+        assert len(rows) > 1
+        contract = sort_contract(raw)
+        assert contract is not None
+        assert rows_equivalent(rows, rows, sort_keys=contract)
+        assert not rows_equivalent(rows, list(reversed(rows)),
+                                   sort_keys=contract)
 
 
 class TestPlannerThroughCompilerFlag:
@@ -118,10 +178,11 @@ class TestPlannerThroughCompilerFlag:
 
 
 class TestExplain:
-    def test_report_shows_rules_and_estimates(self, tpch_catalog, planner):
-        report = planner.explain(build_query("Q3"))
+    def test_report_shows_rules_and_estimates(self, tpch_catalog, default_planner):
+        report = default_planner.explain(build_query("Q3"))
         assert report.changed
         assert "field-pruning" in report.applied
+        assert "topk-fusion" in report.applied
         assert "Scan(lineitem" in report.before and "Scan(lineitem" in report.after
         assert report.estimated_rows_before > 0
         assert report.reached_fixpoint

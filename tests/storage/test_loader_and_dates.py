@@ -1,5 +1,4 @@
 """Unit tests for the .tbl loader and the integer date encoding."""
-import os
 
 import pytest
 
@@ -8,7 +7,6 @@ from repro.storage.loader import (LoaderError, dump_table_file, load_directory,
                                   load_table_file)
 from repro.storage.schema import (Schema, TableSchema, date_column, float_column,
                                   int_column, string_column)
-from repro.storage.layouts import ColumnarTable
 
 
 class TestDates:

@@ -1,10 +1,9 @@
 """Unit tests for the generic IR optimizations (DCE, folding, scalar replacement,
 allocation hoisting, branchless booleans)."""
-import pytest
 
 from repro.ir import IRBuilder, Const, make_program
 from repro.ir.nodes import Sym
-from repro.ir.traversal import count_ops, ops_used
+from repro.ir.traversal import count_ops
 from repro.stack import CompilationContext, OptimizationFlags, SCALITE, C_PY
 from repro.transforms.control_flow import BranchlessBooleans
 from repro.transforms.dce import DeadCodeElimination

@@ -3,11 +3,11 @@ import pytest
 
 from repro.codegen.compiler import QueryCompiler
 from repro.dsl import qplan as Q
-from repro.dsl.expr import Col, col, lit
+from repro.dsl.expr import Col, col
 from repro.engine.volcano import execute
 from repro.ir.nodes import Program
 from repro.ir.traversal import count_ops, iter_program_stmts, ops_used
-from repro.stack import CompilationContext, OptimizationFlags, SCALITE_MAP_LIST
+from repro.stack import CompilationContext, SCALITE_MAP_LIST
 from repro.stack.configs import build_config
 from repro.transforms.pipelining import PipeliningError, PushPipelineLowering
 

@@ -6,8 +6,8 @@ from repro.codegen.compiler import QueryCompiler
 from repro.dsl import qplan as Q
 from repro.dsl.expr import col, in_list, like
 from repro.engine.volcano import execute
-from repro.ir.traversal import iter_program_stmts, ops_used
-from repro.stack import CompilationContext, QPLAN, SCALITE, SCALITE_MAP_LIST
+from repro.ir.traversal import ops_used
+from repro.stack import CompilationContext, SCALITE, SCALITE_MAP_LIST
 from repro.stack.configs import build_config
 from repro.transforms.field_removal import UnusedFieldRemoval
 from repro.transforms.hashmap_specialization import HashTableSpecialization
