@@ -1,0 +1,133 @@
+"""Access-path speedup benchmark: planner with vs without physical access paths.
+
+A small standalone driver (no pytest) used by CI and by hand::
+
+    PYTHONPATH=src python benchmarks/bench_access_paths.py \
+        --queries Q3 Q4 Q6 Q10 Q12 Q14 --engine vectorized \
+        --scale-factor 0.01 --out BENCH_access_paths.json
+
+For every query it optimizes the plan twice against one shared (warm)
+catalog — once with the default planner (access paths on: ``PrunedScan``
+zone-map/sorted-column pruning, ``IndexJoin`` over the load-time PK indices,
+dictionary-encoded string predicates) and once with
+``PlannerOptions.no_access_paths()`` (every logical rule, no physical
+selection) — and times both on the same engine.  The catalog, and therefore
+the access layer, is shared across all measurements: the run also asserts
+that the join indices are **built exactly once** and reused across repeated
+``measure()`` calls, printing the access layer's build counters as proof.
+
+``--assert-speedup N`` exits non-zero unless at least ``N`` queries reach
+``--threshold`` (default 1.5x) — the acceptance gate of the access-path
+work.  CI runs without the assertion (shared runners are too noisy for hard
+wall-clock gates) and keeps the JSON grid as an artifact instead.
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--queries", nargs="+",
+                        default=["Q3", "Q4", "Q6", "Q10", "Q12", "Q14"],
+                        help="TPC-H query names (default: the pruning and "
+                             "index-join showcases Q3 Q4 Q6 Q10 Q12 Q14)")
+    parser.add_argument("--engine", default="vectorized",
+                        help="engine name (default: vectorized)")
+    parser.add_argument("--scale-factor", type=float,
+                        default=float(os.environ.get("REPRO_BENCH_SF", "0.01")),
+                        help="TPC-H scale factor (default: REPRO_BENCH_SF or 0.01)")
+    parser.add_argument("--repetitions", type=int, default=3,
+                        help="timing repetitions per cell (default: 3)")
+    parser.add_argument("--seed", type=int, default=20160626)
+    parser.add_argument("--out", default="BENCH_access_paths.json",
+                        help="output JSON path (default: BENCH_access_paths.json)")
+    parser.add_argument("--threshold", type=float, default=1.5,
+                        help="speedup counted as a win (default: 1.5)")
+    parser.add_argument("--assert-speedup", type=int, default=0, metavar="N",
+                        help="fail unless at least N queries reach the "
+                             "threshold (default: 0 = report only)")
+    args = parser.parse_args(argv)
+
+    from repro.bench.harness import BenchmarkHarness, assert_rows_equivalent
+    from repro.planner import Planner, PlannerOptions, sort_contract
+    from repro.stack.configs import build_direct_engine
+    from repro.tpch.dbgen import generate_catalog
+    from repro.tpch.queries import build_query
+
+    catalog = generate_catalog(scale_factor=args.scale_factor, seed=args.seed)
+    harness = BenchmarkHarness(catalog, repetitions=args.repetitions)
+    with_access = Planner(catalog, PlannerOptions())
+    without_access = Planner(catalog, PlannerOptions.no_access_paths())
+    layer = catalog.access_layer()
+
+    # Warm pass: verifies both plan variants return equivalent rows and
+    # builds every lazily-constructed access structure before timing.
+    engine = build_direct_engine(args.engine, catalog)
+    plans = {}
+    for query_name in args.queries:
+        raw = build_query(query_name)
+        on_plan = with_access.optimize(build_query(query_name))
+        off_plan = without_access.optimize(build_query(query_name))
+        assert_rows_equivalent(engine.execute(off_plan), engine.execute(on_plan),
+                               sort_keys=sort_contract(raw), context=query_name)
+        plans[query_name] = (on_plan, off_plan)
+    builds_after_warmup = dict(layer.build_counts)
+
+    results = {}
+    wins = 0
+    print(f"engine={args.engine} sf={args.scale_factor} "
+          f"repetitions={args.repetitions}")
+    for query_name, (on_plan, off_plan) in plans.items():
+        on = harness.measure(query_name, args.engine, plan=on_plan,
+                             optimize=False)
+        off = harness.measure(query_name, args.engine, plan=off_plan,
+                              optimize=False)
+        speedup = (off.run_seconds / on.run_seconds
+                   if on.run_seconds else float("inf"))
+        wins += speedup >= args.threshold
+        results[query_name] = {
+            "no_access_paths_ms": off.run_millis,
+            "access_paths_ms": on.run_millis,
+            "speedup": speedup,
+            "rows": on.rows,
+        }
+        print(f"{query_name}: no-access={off.run_millis:8.2f}ms "
+              f"access={on.run_millis:8.2f}ms  speedup={speedup:5.2f}x")
+
+    # The build-once claim: all the timed measure() calls above reused the
+    # structures built during warmup — nothing was constructed again.
+    rebuilt = {key: count for key, count in layer.build_counts.items()
+               if count != builds_after_warmup.get(key)}
+    if rebuilt:
+        print(f"access structures were rebuilt during measurement: {rebuilt}",
+              file=sys.stderr)
+        return 1
+    index_builds = {f"{table}.{column}": count
+                    for (kind, table, column), count in
+                    sorted(layer.build_counts.items()) if kind == "key_index"}
+    print(f"join indices built once and reused: {index_builds}")
+
+    payload = {
+        "meta": {"engine": args.engine, "scale_factor": args.scale_factor,
+                 "seed": args.seed, "repetitions": args.repetitions,
+                 "threshold": args.threshold},
+        "queries": results,
+        "index_builds": index_builds,
+    }
+    with open(args.out, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+    print(f"wrote {args.out}")
+
+    if args.assert_speedup and wins < args.assert_speedup:
+        print(f"only {wins} queries reached {args.threshold:.2f}x "
+              f"(required {args.assert_speedup})", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -118,6 +118,44 @@ class Select(Operator):
 
 
 @dataclass(repr=False, slots=True)
+class PrunedScan(Select):
+    """A filtered base-table scan with partition-pruning hints.
+
+    Semantically identical to ``Select(Scan(table), predicate)`` — same rows,
+    same values, same (scan) order — which is also how any consumer that only
+    knows the parent operator executes it, since ``PrunedScan`` *is a*
+    ``Select``.  The direct engines additionally consult ``zone_filters``:
+    the conjuncts of the predicate that compare one scan column against a
+    literal, as ``(column, op, literal)`` triples with ``op`` drawn from
+    :data:`PrunedScan.FILTER_OPS` (``prefix`` encodes ``LIKE 'p%'``).  The
+    catalog's access layer turns those into skipped chunks (zone maps) or a
+    candidate row slice (sorted-column partition pruning); the full predicate
+    is still evaluated on every surviving row, so the hints can only skip
+    rows the predicate would reject anyway.
+    """
+
+    #: operators a zone filter may carry
+    FILTER_OPS = ("<", "<=", ">", ">=", "==", "prefix")
+
+    zone_filters: Tuple[Tuple[str, str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if not isinstance(self.child, Scan):
+            raise PlanError("PrunedScan requires a Scan child")
+        for entry in self.zone_filters:
+            if len(entry) != 3 or entry[1] not in self.FILTER_OPS:
+                raise PlanError(f"malformed zone filter {entry!r}")
+
+    def with_children(self, children: Sequence[Operator]) -> "PrunedScan":
+        return PrunedScan(children[0], self.predicate, self.zone_filters)
+
+    def describe(self) -> str:
+        zones = ", ".join(f"{column} {op} {value!r}"
+                          for column, op, value in self.zone_filters)
+        return f"PrunedScan({self.predicate!r}; zones=[{zones}])"
+
+
+@dataclass(repr=False, slots=True)
 class Project(Operator):
     """Compute (and rename) output columns: ``projections = [(name, expr), ...]``."""
 
@@ -171,6 +209,56 @@ class HashJoin(Operator):
 
     def describe(self) -> str:
         return f"HashJoin[{self.kind}]({self.left_key!r} = {self.right_key!r})"
+
+
+@dataclass(repr=False, slots=True)
+class IndexJoin(HashJoin):
+    """A hash join served by a catalog-resident unique-key index.
+
+    ``index_table.index_column`` names a dense (or at least unique)
+    single-column key — in practice an annotated primary key — for which the
+    access layer (:mod:`repro.storage.access`) holds a load-time direct
+    array.  The build side must be a bare ``Scan`` of that table, optionally
+    under one filter (``Select`` / ``PrunedScan``), with ``left_key`` exactly
+    the key column: engines then probe the memoized index instead of building
+    a per-query hash table, fetch the matching build row by position, and
+    apply the build filter (and residual) per candidate.
+
+    Because the key is unique, every bucket of the hash join this node
+    replaces holds at most one row, and the index execution reproduces the
+    hash join's emission order *exactly* — the rewrite is order- and
+    value-preserving.  ``IndexJoin`` *is a* ``HashJoin``: any consumer that
+    does not know the subtype (the compiled DSL stacks' lowering, the
+    fallback paths of the engines) executes it as the plain hash join it
+    replaces.
+    """
+
+    index_table: str = ""
+    index_column: str = ""
+
+    def __post_init__(self) -> None:
+        HashJoin.__post_init__(self)
+        if not self.index_table or not self.index_column:
+            raise PlanError("IndexJoin requires index_table and index_column")
+
+    def build_parts(self) -> Optional[Tuple["Scan", Optional[Expr]]]:
+        """The build side decomposed as ``(scan, filter predicate)``, or
+        ``None`` when it does not have the required shape."""
+        node = self.left
+        if isinstance(node, Select) and isinstance(node.child, Scan):
+            return node.child, node.predicate
+        if isinstance(node, Scan):
+            return node, None
+        return None
+
+    def with_children(self, children: Sequence[Operator]) -> "IndexJoin":
+        return IndexJoin(children[0], children[1], self.left_key, self.right_key,
+                         self.kind, self.residual, self.index_table,
+                         self.index_column)
+
+    def describe(self) -> str:
+        return (f"IndexJoin[{self.kind}]({self.left_key!r} = {self.right_key!r}; "
+                f"index={self.index_table}.{self.index_column})")
 
 
 @dataclass(repr=False, slots=True)
@@ -423,11 +511,21 @@ def _plan_canonical(plan: Operator) -> str:
     if isinstance(plan, Scan):
         fields = "*" if plan.fields is None else ",".join(plan.fields)
         return f"Scan({plan.table};{fields})"
+    if isinstance(plan, PrunedScan):
+        zones = ",".join(f"{column}{op}{value!r}"
+                         for column, op, value in plan.zone_filters)
+        return (f"PrunedScan({efp(plan.predicate)};[{zones}];"
+                f"{_plan_canonical(plan.child)})")
     if isinstance(plan, Select):
         return f"Select({efp(plan.predicate)};{_plan_canonical(plan.child)})"
     if isinstance(plan, Project):
         projections = ",".join(f"{name}={efp(expr)}" for name, expr in plan.projections)
         return f"Project({projections};{_plan_canonical(plan.child)})"
+    if isinstance(plan, IndexJoin):
+        return (f"IndexJoin({plan.kind};{plan.index_table}.{plan.index_column};"
+                f"{efp(plan.left_key)};{efp(plan.right_key)};"
+                f"{opt(plan.residual)};{_plan_canonical(plan.left)};"
+                f"{_plan_canonical(plan.right)})")
     if isinstance(plan, HashJoin):
         return (f"HashJoin({plan.kind};{efp(plan.left_key)};{efp(plan.right_key)};"
                 f"{opt(plan.residual)};{_plan_canonical(plan.left)};"
@@ -474,6 +572,32 @@ def validate(plan: Operator, catalog) -> None:
                 raise PlanError(f"scan of {node.table!r} selects unknown columns {sorted(unknown)}")
         if isinstance(node, Select):
             _require(columns_used(node.predicate), fields_of(node.child), node)
+        if isinstance(node, PrunedScan):
+            child_fields = fields_of(node.child)
+            zone_columns = [column for column, _, _ in node.zone_filters]
+            _require(zone_columns, child_fields, node)
+        if isinstance(node, IndexJoin):
+            parts = node.build_parts()
+            if parts is None:
+                raise PlanError(
+                    f"{node.describe()}: build side must be a (optionally "
+                    "filtered) scan of the indexed table")
+            scan, _ = parts
+            if scan.table != node.index_table:
+                raise PlanError(
+                    f"{node.describe()}: build side scans {scan.table!r}, "
+                    f"not the indexed table {node.index_table!r}")
+            if not catalog.schema.table(node.index_table).has_column(node.index_column):
+                raise PlanError(
+                    f"{node.describe()}: unknown index column "
+                    f"{node.index_table}.{node.index_column}")
+            from .expr import Col
+            key = node.left_key
+            if not (isinstance(key, Col) and key.side is None
+                    and key.name == node.index_column):
+                raise PlanError(
+                    f"{node.describe()}: left key must be the bare index "
+                    f"column {node.index_column!r}")
         if isinstance(node, Project):
             child_fields = fields_of(node.child)
             for _, expr in node.projections:

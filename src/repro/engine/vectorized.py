@@ -24,6 +24,7 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..dsl import qplan
 from ..dsl.expr_compile import (compile_columnar, compile_columnar_pair,
                                 compile_columnar_predicate, compile_row)
+from ..storage.access import AccessLayer, rewrite_string_predicates
 from ..storage.catalog import Catalog
 from .sharing import SubplanSharing
 from .sortkeys import pass_keys, topk_indices
@@ -104,10 +105,14 @@ class VectorizedEngine(SubplanSharing):
     def _dispatch(self, plan: qplan.Operator) -> Iterator[ColumnBatch]:
         if isinstance(plan, qplan.Scan):
             return self._scan(plan)
+        if isinstance(plan, qplan.PrunedScan):
+            return self._pruned_scan(plan)
         if isinstance(plan, qplan.Select):
             return self._select(plan)
         if isinstance(plan, qplan.Project):
             return self._project(plan)
+        if isinstance(plan, qplan.IndexJoin):
+            return self._index_join(plan)
         if isinstance(plan, qplan.HashJoin):
             return self._hash_join(plan)
         if isinstance(plan, qplan.NestedLoopJoin):
@@ -159,10 +164,61 @@ class VectorizedEngine(SubplanSharing):
                               num_rows)
 
     def _select(self, plan: qplan.Select) -> Iterator[ColumnBatch]:
+        # A filter directly over a base-table scan gets the dictionary
+        # treatment: string equality / IN / prefix-LIKE conjuncts compare
+        # load-time integer codes instead of strings.
+        if isinstance(plan.child, qplan.Scan):
+            yield from self._filtered_scan(plan.child, plan.predicate, None)
+            return
         predicate = compile_columnar_predicate(plan.predicate)
         for batch in self.execute_batches(plan.child):
             sel = predicate(batch.columns, batch.indices())
             yield ColumnBatch(batch.columns, sel, batch.length)
+
+    def _pruned_scan(self, plan: qplan.PrunedScan) -> Iterator[ColumnBatch]:
+        yield from self._filtered_scan(plan.child, plan.predicate,
+                                       plan.zone_filters)
+
+    def _filtered_scan(self, scan: qplan.Scan, predicate,
+                       zone_filters) -> Iterator[ColumnBatch]:
+        """A filter fused onto a base-table scan.
+
+        Zone filters (when present) shrink the evaluated index set through
+        the access layer — sorted-column candidate slices or zone-map chunk
+        ranges — and dictionary-encoded string columns rewrite the predicate
+        to integer code comparisons.  Both legs only ever narrow *which* rows
+        the (full) predicate is evaluated on, so the surviving selection
+        vector is identical to the unpruned filter, in the same (ascending)
+        order, over the same zero-copy columns.
+        """
+        table = self.catalog.table(scan.table)
+        fields = scan.fields if scan.fields is not None else table.schema.column_names()
+        columns = {name: table.column(name) for name in fields}
+        num_rows = table.num_rows
+
+        layer = AccessLayer.for_catalog(self.catalog)
+        predicate, code_columns = rewrite_string_predicates(
+            predicate, scan.table, table.schema.columns, layer)
+        if code_columns:
+            columns = {**columns, **code_columns}
+        compiled = compile_columnar_predicate(predicate)
+
+        if zone_filters:
+            candidates = layer.pruned_indices(scan.table, zone_filters)
+        else:
+            candidates = range(num_rows)
+        if self.batch_size is None:
+            sel = compiled(columns, candidates)
+            yield ColumnBatch(columns, sel, num_rows)
+            return
+        window: List[int] = []
+        for index in candidates:
+            window.append(index)
+            if len(window) >= self.batch_size:
+                yield ColumnBatch(columns, compiled(columns, window), num_rows)
+                window = []
+        if window:
+            yield ColumnBatch(columns, compiled(columns, window), num_rows)
 
     def _project(self, plan: qplan.Project) -> Iterator[ColumnBatch]:
         projections = [(name, compile_columnar(expr)) for name, expr in plan.projections]
@@ -198,6 +254,139 @@ class VectorizedEngine(SubplanSharing):
                                              right_key, residual_binder)
         else:  # pragma: no cover - guarded by the QPlan constructor
             raise VectorizedError(f"unknown join kind {plan.kind!r}")
+
+    def _index_join(self, plan: qplan.IndexJoin) -> Iterator[ColumnBatch]:
+        """Hash join served by the catalog's load-time unique-key index.
+
+        The build side is never executed: probe keys index the memoized
+        direct array, the build filter runs only on candidate rows, and the
+        build columns are gathered zero-copy from the catalog.  With unique
+        keys the emission orders below are exactly those of
+        :meth:`_hash_join` (probe-major for inner, base order for semi/anti).
+        """
+        index = AccessLayer.for_catalog(self.catalog).key_index(
+            plan.index_table, plan.index_column)
+        parts = plan.build_parts()
+        if index is None or parts is None or plan.kind == "leftouter":
+            yield from self._hash_join(plan)
+            return
+        scan, build_predicate = parts
+        table = self.catalog.table(scan.table)
+        left_fields = scan.fields if scan.fields is not None \
+            else table.schema.column_names()
+        base_columns = {name: table.column(name) for name in left_fields}
+        right_fields = qplan.output_fields(plan.right, self.catalog)
+
+        from ..storage.access import DirectArray
+        build_pass = (compile_columnar(build_predicate)
+                      if build_predicate is not None else None)
+        right_key = compile_columnar(plan.right_key)
+        residual_binder = None
+        if plan.residual is not None:
+            residual_binder = compile_columnar_pair(plan.residual, left_fields,
+                                                    right_fields)
+        lookup = index.lookup
+        # dense-array fast path bound to locals: the probe loops below index
+        # `slots` inline instead of paying a method call per probe row
+        if isinstance(index, DirectArray):
+            slots, offset, size = index.slots, index.offset, len(index.slots)
+        else:
+            slots, offset, size = None, 0, 0
+        # per-position build-filter verdicts, shared across probe batches and
+        # evaluated in one compiled-columnar call per batch of new positions
+        verdicts: Dict[int, bool] = {}
+
+        def resolve(keys: List[Any]) -> List[Optional[int]]:
+            """Key column -> build positions (the two-pass filtered path)."""
+            if slots is not None:
+                positions: List[Optional[int]] = []
+                append = positions.append
+                for key in keys:
+                    if type(key) is int:
+                        slot = key - offset
+                        append(slots[slot] if 0 <= slot < size else None)
+                    else:
+                        append(lookup(key))
+                return positions
+            return [lookup(key) for key in keys]
+
+        def screen(positions: List[Optional[int]]) -> None:
+            """Fill ``verdicts`` for every not-yet-screened position."""
+            fresh = [j for j in set(positions)
+                     if j is not None and j not in verdicts]
+            if fresh:
+                for j, verdict in zip(fresh, build_pass(base_columns, fresh)):
+                    verdicts[j] = bool(verdict)
+
+        if plan.kind == "inner":
+            for batch in self.execute_batches(plan.right):
+                indices = batch.indices()
+                keys = right_key(batch.columns, indices)
+                residual = (residual_binder(base_columns, batch.columns)
+                            if residual_binder is not None else None)
+                left_idx: List[int] = []
+                right_idx: List[int] = []
+                if build_pass is None:
+                    # single fused pass: lookup, residual, pair emission
+                    for pos, i in enumerate(indices):
+                        key = keys[pos]
+                        if slots is not None and type(key) is int:
+                            slot = key - offset
+                            j = slots[slot] if 0 <= slot < size else None
+                        else:
+                            j = lookup(key)
+                        if j is None:
+                            continue
+                        if residual is None or residual(j, i):
+                            left_idx.append(j)
+                            right_idx.append(i)
+                else:
+                    positions = resolve(keys)
+                    screen(positions)
+                    for pos, i in enumerate(indices):
+                        j = positions[pos]
+                        if j is None or not verdicts[j]:
+                            continue
+                        if residual is None or residual(j, i):
+                            left_idx.append(j)
+                            right_idx.append(i)
+                columns: Dict[str, List[Any]] = {}
+                for name in left_fields:
+                    source = base_columns[name]
+                    columns[name] = [source[j] for j in left_idx]
+                for name in right_fields:
+                    source = batch.columns[name]
+                    columns[name] = [source[i] for i in right_idx]
+                yield ColumnBatch(columns, None, len(left_idx))
+            return
+
+        # leftsemi / leftanti: mark matched build positions, then emit the
+        # filter-surviving base rows (zero-copy, ascending = bucket order).
+        matched: set = set()
+        for batch in self.execute_batches(plan.right):
+            indices = batch.indices()
+            keys = right_key(batch.columns, indices)
+            residual = (residual_binder(base_columns, batch.columns)
+                        if residual_binder is not None else None)
+            positions = resolve(keys)
+            if build_pass is not None:
+                screen(positions)
+            for pos, i in enumerate(indices):
+                j = positions[pos]
+                if j is None or j in matched:
+                    continue
+                if build_pass is not None and not verdicts[j]:
+                    continue
+                if residual is None or residual(j, i):
+                    matched.add(j)
+        if build_pass is not None:
+            surviving: Sequence[int] = compile_columnar_predicate(
+                build_predicate)(base_columns, range(table.num_rows))
+        else:
+            surviving = range(table.num_rows)
+        want_match = plan.kind == "leftsemi"
+        keep = [j for j in surviving if (j in matched) == want_match]
+        yield ColumnBatch(base_columns, keep, table.num_rows)
 
     def _probe_inner(self, plan, buckets, left_columns, left_fields, right_fields,
                      right_key, residual_binder) -> Iterator[ColumnBatch]:

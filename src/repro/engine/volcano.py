@@ -22,6 +22,7 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..dsl import qplan
 from ..dsl.expr_compile import compile_pair, compile_row
+from ..storage.access import AccessLayer
 from ..storage.catalog import Catalog
 from .sharing import SubplanSharing
 from .sortkeys import pass_keys, topk_rows
@@ -58,10 +59,14 @@ class VolcanoEngine(SubplanSharing):
         """The ``open/next/close`` pipeline for one operator."""
         if isinstance(plan, qplan.Scan):
             return self._scan(plan)
+        if isinstance(plan, qplan.PrunedScan):
+            return self._pruned_scan(plan)
         if isinstance(plan, qplan.Select):
             return self._select(plan)
         if isinstance(plan, qplan.Project):
             return self._project(plan)
+        if isinstance(plan, qplan.IndexJoin):
+            return self._index_join(plan)
         if isinstance(plan, qplan.HashJoin):
             return self._hash_join(plan)
         if isinstance(plan, qplan.NestedLoopJoin):
@@ -91,6 +96,90 @@ class VolcanoEngine(SubplanSharing):
         for row in self.iterate(plan.child):
             if predicate(row):
                 yield row
+
+    def _pruned_scan(self, plan: qplan.PrunedScan) -> Iterator[Row]:
+        """``Select(Scan(...))`` with partition pruning: the access layer
+        turns the zone filters into a candidate row iterable (ascending base
+        order, so emission matches the unpruned scan-then-filter exactly) and
+        only the candidates pay row construction and predicate evaluation."""
+        scan = plan.child
+        table = self.catalog.table(scan.table)
+        fields = scan.fields if scan.fields is not None else table.schema.column_names()
+        columns = [table.column(name) for name in fields]
+        predicate = compile_row(plan.predicate)
+        candidates = AccessLayer.for_catalog(self.catalog).pruned_indices(
+            scan.table, plan.zone_filters)
+        for i in candidates:
+            row = {name: column[i] for name, column in zip(fields, columns)}
+            if predicate(row):
+                yield row
+
+    def _index_join(self, plan: qplan.IndexJoin) -> Iterator[Row]:
+        """Hash join served by the catalog's load-time unique-key index.
+
+        No build phase: each probe key is looked up in the memoized index and
+        the (at most one) matching build row is constructed on demand from
+        the base columns, with the build filter applied per fetched row.
+        Unique keys make every hash bucket at most one row, so every emission
+        order below replicates :meth:`_hash_join` exactly.
+        """
+        index = AccessLayer.for_catalog(self.catalog).key_index(
+            plan.index_table, plan.index_column)
+        parts = plan.build_parts()
+        if index is None or parts is None or plan.kind == "leftouter":
+            yield from self._hash_join(plan)
+            return
+        scan, build_predicate = parts
+        table = self.catalog.table(scan.table)
+        fields = scan.fields if scan.fields is not None else table.schema.column_names()
+        columns = [table.column(name) for name in fields]
+        predicate = compile_row(build_predicate) if build_predicate is not None else None
+        right_key = compile_row(plan.right_key)
+        residual = compile_pair(plan.residual) if plan.residual is not None else None
+        lookup = index.lookup
+
+        # build rows fetched so far: position -> row dict (None = filtered out)
+        fetched: Dict[int, Optional[Row]] = {}
+
+        def build_row(position: int) -> Optional[Row]:
+            row = fetched.get(position, False)
+            if row is False:
+                row = {name: column[position]
+                       for name, column in zip(fields, columns)}
+                if predicate is not None and not predicate(row):
+                    row = None
+                fetched[position] = row
+            return row
+
+        if plan.kind == "inner":
+            for right_row in self.iterate(plan.right):
+                position = lookup(right_key(right_row))
+                if position is None:
+                    continue
+                left_row = build_row(position)
+                if left_row is None:
+                    continue
+                if residual is None or residual(left_row, right_row):
+                    yield {**left_row, **right_row}
+            return
+
+        # leftsemi / leftanti: collect matched build positions while probing,
+        # then emit the filter-surviving build rows in base (= bucket) order.
+        matched: set = set()
+        for right_row in self.iterate(plan.right):
+            position = lookup(right_key(right_row))
+            if position is None or position in matched:
+                continue
+            left_row = build_row(position)
+            if left_row is None:
+                continue
+            if residual is None or residual(left_row, right_row):
+                matched.add(position)
+        want_match = plan.kind == "leftsemi"
+        for position in range(table.num_rows):
+            left_row = build_row(position)
+            if left_row is not None and (position in matched) == want_match:
+                yield left_row
 
     def _project(self, plan: qplan.Project) -> Iterator[Row]:
         projections = [(name, compile_row(expr)) for name, expr in plan.projections]

@@ -17,6 +17,8 @@ Entry points:
   is what allows the order-perturbing join rules to run by default,
 * :meth:`Planner.explain` — before/after trees plus the applied-rule log.
 """
+from .access_rules import (IndexJoinSelection, PrunedScanSelection,
+                           index_eligible_build)
 from .cardinality import CardinalityEstimator
 from .ordering import SortContract, sort_contract
 from .planner import Planner, PlannerOptions, PlanReport, optimize_plan
@@ -27,6 +29,9 @@ from .rules import (BuildSideSwap, ConstantFolding, EquiJoinConversion,
 
 __all__ = [
     "BuildSideSwap",
+    "IndexJoinSelection",
+    "PrunedScanSelection",
+    "index_eligible_build",
     "CardinalityEstimator",
     "ConstantFolding",
     "EquiJoinConversion",

@@ -1,0 +1,116 @@
+"""Access-path selection: the physical rules of the plan optimizer.
+
+These rules replace logical operator shapes by their access-layer-served
+physical counterparts (:mod:`repro.storage.access`):
+
+* **PrunedScanSelection** — ``Select`` directly over a ``Scan`` becomes a
+  :class:`~repro.dsl.qplan.PrunedScan` carrying the predicate's prunable
+  conjuncts as zone filters, so engines can skip chunks (zone maps) or jump
+  to a candidate row slice (sorted-column partition pruning).
+* **IndexJoinSelection** — a hash join whose build side is a (possibly
+  filtered) scan of a table keyed on its dense/unique single-column primary
+  key becomes an :class:`~repro.dsl.qplan.IndexJoin`, probing the catalog's
+  load-time key index instead of building a per-query hash table.
+
+Both rewrites are order- and value-preserving (the executed access path
+reproduces the parent operator's emission order exactly — unique keys mean
+one-row buckets, and pruning only skips rows the predicate rejects), so they
+run in *every* rule set, including ``PlannerOptions.exact_order()``.  They
+fire as the final planner phase, after join reordering and field pruning
+have settled the plan's logical shape.
+"""
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..dsl import expr as E
+from ..dsl import qplan as Q
+from ..storage.access import extract_zone_filters
+from .rewrite import PlanRule, PlannerContext
+
+
+def index_eligible_build(join: Q.HashJoin, catalog,
+                         estimator=None) -> Optional[Tuple[str, str]]:
+    """``(table, key_column)`` when a join's build side can be index-served.
+
+    Requires: a join kind whose index execution is order-identical (inner,
+    left semi, left anti); a build side that is a bare scan — or, for inner
+    joins, one filter over a scan; a build key that is exactly the scanned
+    table's single-column primary key; and statistics confirming the key is
+    unique in the loaded data.
+
+    A bare-scan build side is always worth index-serving: the per-query hash
+    build it replaces is a full pass over the table, the index probe costs
+    nothing extra.  A *filtered* build side is different — the index path
+    must re-screen the build filter per probed key, so it only wins when the
+    probe side is no larger than the filtered build it saves; with an
+    ``estimator`` that cost gate is applied (semi/anti joins additionally
+    re-enumerate every build row at emission, so filtered builds stay on the
+    pruned-scan hash build there).  Also consulted by the cost-based
+    build-side swap: an index-served build side costs nothing to "build", so
+    it must never be swapped away.
+    """
+    if join.kind not in ("inner", "leftsemi", "leftanti"):
+        return None
+    build = join.left
+    filtered = False
+    if isinstance(build, Q.Select) and join.kind == "inner":
+        if not isinstance(build.child, Q.Scan):
+            return None
+        scan = build.child
+        filtered = True
+    elif isinstance(build, Q.Scan):
+        scan = build
+    else:
+        return None
+    key = join.left_key
+    if not (isinstance(key, E.Col) and key.side is None):
+        return None
+    if not catalog.is_primary_key(scan.table, key.name):
+        return None
+    statistics = getattr(catalog, "statistics", None)
+    if statistics is None or not statistics.has_column(scan.table, key.name):
+        return None
+    if not statistics.column(scan.table, key.name).is_unique:
+        return None
+    if filtered and estimator is not None:
+        if estimator.estimate_rows(join.right) > estimator.estimate_rows(build):
+            return None
+    return scan.table, key.name
+
+
+class IndexJoinSelection(PlanRule):
+    """Serve PK-build hash joins from the catalog's load-time key index."""
+
+    name = "index-join"
+
+    def __init__(self, estimator=None) -> None:
+        #: optional cardinality estimator for the filtered-build cost gate
+        self.estimator = estimator
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if not isinstance(node, Q.HashJoin) or isinstance(node, Q.IndexJoin):
+            return None
+        eligible = index_eligible_build(node, context.catalog, self.estimator)
+        if eligible is None:
+            return None
+        table, column = eligible
+        return Q.IndexJoin(node.left, node.right, node.left_key, node.right_key,
+                           node.kind, node.residual, table, column)
+
+
+class PrunedScanSelection(PlanRule):
+    """Attach partition-pruning hints to filters sitting directly on scans."""
+
+    name = "pruned-scan"
+
+    def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
+        if type(node) is not Q.Select:  # not PrunedScan again
+            return None
+        if not isinstance(node.child, Q.Scan):
+            return None
+        filters = extract_zone_filters(node.predicate,
+                                       context.fields_of(node.child))
+        if not filters:
+            return None
+        return Q.PrunedScan(node.child, node.predicate, filters)

@@ -42,13 +42,15 @@ class CardinalityEstimator:
     # Statistics lookup
     # ------------------------------------------------------------------
     def _columns(self) -> Dict[str, object]:
-        """Column statistics indexed by (globally unique) column name."""
+        """Column statistics indexed by (globally unique) column name.
+
+        Delegates to :meth:`repro.storage.statistics.Statistics.columns_by_name`
+        — the summaries (min/max, distinct counts, zone maps) are computed
+        once at load time; the estimator only caches the name index.
+        """
         if self._column_stats is None:
-            self._column_stats = {}
-            if self.statistics is not None:
-                for table in self.statistics.tables.values():
-                    for name, stats in table.columns.items():
-                        self._column_stats.setdefault(name, stats)
+            self._column_stats = (self.statistics.columns_by_name()
+                                  if self.statistics is not None else {})
         return self._column_stats
 
     def distinct_of(self, expr: E.Expr) -> Optional[int]:
@@ -68,10 +70,14 @@ class CardinalityEstimator:
                 return float(self.statistics.cardinality(plan.table))
             return _UNKNOWN_TABLE_ROWS
         if isinstance(plan, Q.Select):
+            # (also covers PrunedScan: pruning skips rows the predicate would
+            # reject anyway, so the selectivity estimate is unchanged)
             child = self.estimate_rows(plan.child)
             return child * self.selectivity(plan.predicate)
         if isinstance(plan, Q.Project):
             return self.estimate_rows(plan.child)
+        if isinstance(plan, Q.IndexJoin):
+            return self._estimate_index_join(plan)
         if isinstance(plan, Q.HashJoin):
             return self._estimate_hash_join(plan)
         if isinstance(plan, Q.NestedLoopJoin):
@@ -96,6 +102,20 @@ class CardinalityEstimator:
             estimate *= self.selectivity(plan.residual)
         if plan.kind == "leftouter":
             estimate = max(estimate, left)
+        return max(1.0, estimate)
+
+    def _estimate_index_join(self, plan: Q.IndexJoin) -> float:
+        """Unique-key joins match each probe row with at most one build row,
+        so the inner output is bounded by the probe side times the build
+        filter's selectivity — tighter than the generic ``|L|·|R| / V``."""
+        if plan.kind in ("leftsemi", "leftanti"):
+            return max(1.0, self.estimate_rows(plan.left) * _SEMI_SELECTIVITY)
+        estimate = self.estimate_rows(plan.right)
+        parts = plan.build_parts()
+        if parts is not None and parts[1] is not None:
+            estimate *= self.selectivity(parts[1])
+        if plan.residual is not None:
+            estimate *= self.selectivity(plan.residual)
         return max(1.0, estimate)
 
     def _estimate_nested_loop(self, plan: Q.NestedLoopJoin) -> float:

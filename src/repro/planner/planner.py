@@ -15,9 +15,13 @@ Default rule set:
 4. top-k fusion (``Limit`` over ``Sort`` -> bounded-heap ``TopK``),
 5. statistics-driven join strategy: build-side swap and greedy join-chain
    reordering,
-6. scan field / projection / aggregate pruning.
+6. scan field / projection / aggregate pruning,
+7. physical access-path selection (:mod:`repro.planner.access_rules`):
+   ``Select``-over-``Scan`` becomes a zone-filter-carrying ``PrunedScan`` and
+   PK-build hash joins become ``IndexJoin`` over the catalog's load-time key
+   indices.
 
-Rules 1-4 and 6 are order- and value-preserving.  The ``join_strategy``
+Rules 1-4, 6 and 7 are order- and value-preserving.  The ``join_strategy``
 rules (5) preserve the result multiset but not intermediate row order —
 which also perturbs float accumulation order — and run by default under the
 planner's **order contract** (:mod:`repro.planner.ordering`): the output is
@@ -33,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from ..dsl import qplan as Q
+from .access_rules import IndexJoinSelection, PrunedScanSelection
 from .cardinality import CardinalityEstimator
 from .pruning import prune_plan
 from .reorder import reorder_join_chains
@@ -58,6 +63,9 @@ class PlannerOptions:
     field_pruning: bool = True
     topk_fusion: bool = True
     join_strategy: bool = True
+    #: physical access-path selection (PrunedScan, IndexJoin): order- and
+    #: value-preserving, so it stays on even under ``exact_order()``
+    access_paths: bool = True
     max_iterations: int = 8
 
     @classmethod
@@ -70,10 +78,16 @@ class PlannerOptions:
         return cls(join_strategy=False)
 
     @classmethod
+    def no_access_paths(cls) -> "PlannerOptions":
+        """Every logical rule, but no physical access-path selection — the
+        baseline the access-path benchmarks compare against."""
+        return cls(access_paths=False)
+
+    @classmethod
     def none(cls) -> "PlannerOptions":
         return cls(constant_folding=False, predicate_pushdown=False,
                    equi_join_conversion=False, field_pruning=False,
-                   topk_fusion=False, join_strategy=False)
+                   topk_fusion=False, join_strategy=False, access_paths=False)
 
 
 @dataclass
@@ -187,6 +201,16 @@ class Planner:
             if pruned is not plan:
                 context.record("field-pruning")
                 plan = pruned
+        if self.options.access_paths:
+            # Physical access-path selection runs last, on the settled logical
+            # shape: filters that pushdown parked on scans become PrunedScans,
+            # PK-build hash joins become IndexJoins.  Both rewrites preserve
+            # order and values exactly.
+            plan, access_report = apply_rules_fixpoint(
+                plan,
+                [PrunedScanSelection(), IndexJoinSelection(self.estimator)],
+                context, self.options.max_iterations)
+            report.applied.extend(access_report.applied)
         # An optimizer bug must surface here, not as a wrong answer later.
         Q.validate(plan, self.catalog)
         return plan, (context, report)

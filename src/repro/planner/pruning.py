@@ -56,7 +56,10 @@ class _Pruner:
             return self._prune_scan(node, needed)
         if isinstance(node, Q.Select):
             child = self.prune(node.child, needed | _expr_columns(node.predicate))
-            return node if child is node.child else Q.Select(child, node.predicate)
+            # with_children keeps the node's exact type: a PrunedScan must
+            # stay a PrunedScan (zone filters only reference predicate
+            # columns, which are all in `needed` here).
+            return node if child is node.child else node.with_children([child])
         if isinstance(node, Q.Project):
             return self._prune_project(node, needed)
         if isinstance(node, (Q.HashJoin, Q.NestedLoopJoin)):

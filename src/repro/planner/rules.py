@@ -28,6 +28,7 @@ from typing import List, Optional, Tuple
 
 from ..dsl import expr as E
 from ..dsl import qplan as Q
+from .access_rules import index_eligible_build
 from .cardinality import CardinalityEstimator
 from .exprs import (classify_columns, conjoin, flip_sides, fold_constants,
                     is_literal_true, simplify_predicate, split_conjuncts,
@@ -359,6 +360,16 @@ class BuildSideSwap(PlanRule):
 
     def apply(self, node: Q.Operator, context: PlannerContext) -> Optional[Q.Operator]:
         if not isinstance(node, Q.HashJoin) or node.kind != "inner":
+            return None
+        if isinstance(node, Q.IndexJoin):
+            return None
+        # An index-eligible build side costs nothing to build (the access
+        # layer holds its key index across queries), so size-based swapping
+        # would only destroy the cheaper plan the access-path rules select.
+        options = context.options
+        if (options is None or getattr(options, "access_paths", True)) and \
+                index_eligible_build(node, context.catalog,
+                                     self.estimator) is not None:
             return None
         build = self.estimator.estimate_rows(node.left)
         probe = self.estimator.estimate_rows(node.right)

@@ -1,0 +1,651 @@
+"""The catalog-resident physical access layer (paper Section B.1).
+
+The paper's biggest TPC-H wins come from work "moved to loading time":
+primary-key arrays that turn hash probes into array indexing, partitioned
+join structures, and string dictionaries.  The compiled DSL stacks reproduce
+those at the IR level; this module gives the *direct* engines (Volcano,
+vectorized, template expander) the same load-time structures:
+
+* **PK direct arrays / join indices** (:meth:`AccessLayer.key_index`) — for a
+  dense single-column key (``ColumnStatistics.is_dense_key``), a plain list
+  mapping ``value - offset`` to the row position, so an FK→PK join probes by
+  array indexing instead of building a per-query hash table.  Sparse unique
+  keys fall back to a prebuilt dict.
+* **Zone maps + sorted-column partition pruning**
+  (:meth:`AccessLayer.chunk_ranges`, :meth:`AccessLayer.prune_candidates`) —
+  range predicates on a column skip whole chunks via the load-time zone maps
+  (:class:`repro.storage.statistics.ColumnZoneMap`), and a value-sorted
+  permutation of the column turns a selective range into a small candidate
+  row set even when the data is not clustered.
+* **Dictionary-encoded strings** (:meth:`AccessLayer.dictionary`,
+  :func:`rewrite_string_predicates`) — a sorted dictionary plus a per-row
+  code column; string equality, ``IN`` lists and ``LIKE 'prefix%'`` become
+  integer comparisons (a prefix is a contiguous code range).
+
+Every structure is built **lazily, once per catalog** and memoized on the
+:class:`AccessLayer`, which itself lives on the catalog object
+(:meth:`AccessLayer.for_catalog`) — so repeated queries, and repeated
+``measure()`` calls of the benchmark harness, reuse the same indices.
+``build_counts`` records every construction, which is how the benchmarks
+prove the build-once claim.
+"""
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from itertools import chain
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..dsl import expr as E
+from ..dsl import qplan as Q
+
+#: sorts after every real string with a given prefix: the exclusive upper
+#: bound of the ``LIKE 'prefix%'`` value range
+_PREFIX_CEILING = "\U0010ffff"
+
+#: suffix appended to a column name for its dictionary-code companion column
+DICT_CODE_SUFFIX = "#dict"
+
+#: operators a zone filter may carry (``prefix`` covers ``LIKE 'p%'``);
+#: defined by the plan node that carries the filters
+ZONE_FILTER_OPS = Q.PrunedScan.FILTER_OPS
+
+#: string dictionaries are only built while they stay small: an almost-unique
+#: column (comments) would cost more to encode than it could ever save
+_MAX_DICTIONARY_SIZE = 4096
+
+#: partition pruning via the sorted permutation only pays off when the range
+#: keeps at most this fraction of the table (gathering + re-sorting candidate
+#: indices must stay cheaper than the predicate evaluations it avoids)
+_MAX_PRUNE_FRACTION = 0.5
+
+
+class AccessError(Exception):
+    pass
+
+
+# ---------------------------------------------------------------------------
+# Load-time structures
+# ---------------------------------------------------------------------------
+@dataclass
+class DirectArray:
+    """A dense key index: ``slots[value - offset]`` is the row position.
+
+    Built only for columns that are unique *and* dense
+    (:meth:`~repro.storage.statistics.ColumnStatistics.is_dense_key`), the
+    paper's "aggressive system memory trade-off to hold a sparse array".
+    """
+
+    table: str
+    column: str
+    offset: int
+    slots: List[Optional[int]]
+
+    def lookup(self, value: Any) -> Optional[int]:
+        if type(value) is not int:
+            # match hash-table key semantics: 3.0 == 3, True == 1
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+            elif isinstance(value, bool):
+                value = int(value)
+            else:
+                return None
+        index = value - self.offset
+        if 0 <= index < len(self.slots):
+            return self.slots[index]
+        return None
+
+
+@dataclass
+class DictIndex:
+    """A unique-key index over a sparse (or non-integer) key column."""
+
+    table: str
+    column: str
+    positions: Dict[Any, int]
+
+    def lookup(self, value: Any) -> Optional[int]:
+        return self.positions.get(value)
+
+
+@dataclass
+class StringDictionary:
+    """A sorted string dictionary plus the per-row code column.
+
+    Codes are assigned in sorted value order, so string *order* is preserved:
+    equality is code equality and a prefix match is one contiguous code range.
+    """
+
+    table: str
+    column: str
+    values: List[str]
+    codes: List[int]
+    code_of: Dict[str, int] = field(repr=False, default_factory=dict)
+
+    def code(self, value: str) -> Optional[int]:
+        return self.code_of.get(value)
+
+    def prefix_code_range(self, prefix: str) -> Tuple[int, int]:
+        """Codes ``[lo, hi)`` whose strings start with ``prefix``."""
+        lo = bisect_left(self.values, prefix)
+        hi = bisect_right(self.values, prefix + _PREFIX_CEILING)
+        return lo, hi
+
+
+@dataclass
+class SortedColumn:
+    """A value-sorted permutation of one column (the partition index).
+
+    ``values`` is the column sorted ascending and ``permutation[k]`` is the
+    base-row position of ``values[k]``; a range predicate bisects into one
+    contiguous slice of candidates.  ``identity`` marks columns that are
+    already stored sorted, where the slice *is* a base-row range.
+    """
+
+    table: str
+    column: str
+    values: List[Any]
+    permutation: Sequence[int]
+    identity: bool = False
+
+    def slice_bounds(self, bounds: "_Bounds") -> Tuple[int, int]:
+        start, stop = 0, len(self.values)
+        if bounds.lo is not None:
+            value, strict = bounds.lo
+            start = bisect_right(self.values, value) if strict else \
+                bisect_left(self.values, value)
+        if bounds.hi is not None:
+            value, strict = bounds.hi
+            stop = bisect_left(self.values, value) if strict else \
+                bisect_right(self.values, value)
+        return start, max(start, stop)
+
+
+# ---------------------------------------------------------------------------
+# Zone filters: the prunable part of a scan predicate
+# ---------------------------------------------------------------------------
+#: one prunable conjunct: ``(column, op, literal)`` with the column on the left
+ZoneFilter = Tuple[str, str, Any]
+
+
+@dataclass
+class _Bounds:
+    """Combined lower/upper bound of one column: ``(value, is_strict)``."""
+
+    lo: Optional[Tuple[Any, bool]] = None
+    hi: Optional[Tuple[Any, bool]] = None
+
+    def tighten(self, op: str, value: Any) -> None:
+        if op in (">", ">="):
+            candidate = (value, op == ">")
+            if self.lo is None or _tighter_lo(candidate, self.lo):
+                self.lo = candidate
+        elif op in ("<", "<="):
+            candidate = (value, op == "<")
+            if self.hi is None or _tighter_hi(candidate, self.hi):
+                self.hi = candidate
+        elif op == "==":
+            self.tighten(">=", value)
+            self.tighten("<=", value)
+        elif op == "prefix":
+            self.tighten(">=", value)
+            self.tighten("<=", value + _PREFIX_CEILING)
+        else:  # pragma: no cover - guarded by extract_zone_filters
+            raise AccessError(f"unknown zone-filter operator {op!r}")
+
+    def admits_chunk(self, chunk_min: Any, chunk_max: Any) -> bool:
+        """Whether any value in ``[chunk_min, chunk_max]`` can satisfy the bounds."""
+        if self.lo is not None:
+            value, strict = self.lo
+            if chunk_max < value or (strict and chunk_max <= value):
+                return False
+        if self.hi is not None:
+            value, strict = self.hi
+            if chunk_min > value or (strict and chunk_min >= value):
+                return False
+        return True
+
+
+def _tighter_lo(candidate: Tuple[Any, bool], current: Tuple[Any, bool]) -> bool:
+    if candidate[0] != current[0]:
+        return candidate[0] > current[0]
+    return candidate[1] and not current[1]
+
+
+def _tighter_hi(candidate: Tuple[Any, bool], current: Tuple[Any, bool]) -> bool:
+    if candidate[0] != current[0]:
+        return candidate[0] < current[0]
+    return candidate[1] and not current[1]
+
+
+def extract_zone_filters(predicate: E.Expr,
+                         columns: Iterable[str]) -> Tuple[ZoneFilter, ...]:
+    """The prunable conjuncts of a scan predicate.
+
+    A conjunct is prunable when it compares one bare (unsided) column of the
+    scanned table against a comparable literal: ``col OP literal`` for the
+    inequality/equality operators, or ``LIKE 'prefix%'``.  Everything else —
+    column/column comparisons, disjunctions, arithmetic — stays behind in the
+    residual predicate the engines still evaluate on surviving rows.
+    """
+    available = set(columns)
+    filters: List[ZoneFilter] = []
+    for conjunct in _conjuncts(predicate):
+        extracted = _as_zone_filter(conjunct, available)
+        if extracted is not None:
+            filters.append(extracted)
+    return tuple(filters)
+
+
+def _conjuncts(expr: E.Expr) -> List[E.Expr]:
+    if isinstance(expr, E.BinOp) and expr.op == "and":
+        return _conjuncts(expr.left) + _conjuncts(expr.right)
+    return [expr]
+
+
+_FLIPPED_OP = {"<": ">", "<=": ">=", ">": "<", ">=": "<=", "==": "=="}
+
+
+def _as_zone_filter(conjunct: E.Expr, columns: set) -> Optional[ZoneFilter]:
+    if isinstance(conjunct, E.Like):
+        kind, needle = conjunct.kind()
+        operand = conjunct.operand
+        if ("%" not in needle and isinstance(operand, E.Col)
+                and operand.side is None and operand.name in columns):
+            if kind == "prefix":
+                return (operand.name, "prefix", needle)
+            if kind == "equals":
+                return (operand.name, "==", needle)
+        return None
+    if not isinstance(conjunct, E.BinOp) or conjunct.op not in _FLIPPED_OP:
+        return None
+    left, right, op = conjunct.left, conjunct.right, conjunct.op
+    if isinstance(right, E.Col) and isinstance(left, E.Lit):
+        left, right, op = right, left, _FLIPPED_OP[op]
+    if not (isinstance(left, E.Col) and isinstance(right, E.Lit)):
+        return None
+    if left.side is not None or left.name not in columns:
+        return None
+    value = right.value
+    if isinstance(value, bool) or not isinstance(value, (int, float, str)):
+        return None
+    return (left.name, op, value)
+
+
+def _bounds_per_column(filters: Sequence[ZoneFilter]) -> Dict[str, _Bounds]:
+    per_column: Dict[str, _Bounds] = {}
+    for column, op, value in filters:
+        per_column.setdefault(column, _Bounds()).tighten(op, value)
+    return per_column
+
+
+# ---------------------------------------------------------------------------
+# Dictionary predicate rewriting (vectorized engine)
+# ---------------------------------------------------------------------------
+def rewrite_string_predicates(predicate: E.Expr, table: str, schema_columns,
+                              layer: "AccessLayer"
+                              ) -> Tuple[E.Expr, Dict[str, List[int]]]:
+    """Rewrite string comparisons over a base-table scan to code comparisons.
+
+    Returns the rewritten predicate plus the extra code columns it references
+    (``{column + '#dict': codes}``).  When nothing rewrites, the original
+    predicate comes back with an empty column map.  Rewrites are exact:
+
+    * ``col == 'x'`` / ``col != 'x'`` — compare against the code of ``'x'``
+      (a value absent from the dictionary folds to ``False`` / ``True``),
+    * ``col IN (...)`` — an ``IN`` over the codes of the present values,
+    * ``LIKE 'p%'`` (single trailing wildcard) — one code-range test, because
+      codes are assigned in sorted string order.
+    """
+    extra: Dict[str, List[int]] = {}
+    string_columns = {column.name for column in schema_columns if column.is_string}
+
+    def dictionary_for(name: str) -> Optional[StringDictionary]:
+        if name not in string_columns:
+            return None
+        return layer.dictionary(table, name)
+
+    def code_column(dictionary: StringDictionary) -> E.Col:
+        name = dictionary.column + DICT_CODE_SUFFIX
+        extra[name] = dictionary.codes
+        return E.Col(name)
+
+    def rewrite(node: E.Expr) -> E.Expr:
+        if isinstance(node, E.BinOp):
+            if node.op in ("and", "or"):
+                left, right = rewrite(node.left), rewrite(node.right)
+                if left is node.left and right is node.right:
+                    return node
+                return E.BinOp(node.op, left, right)
+            if node.op in ("==", "!="):
+                column, literal = None, None
+                if isinstance(node.left, E.Col) and isinstance(node.right, E.Lit):
+                    column, literal = node.left, node.right.value
+                elif isinstance(node.right, E.Col) and isinstance(node.left, E.Lit):
+                    column, literal = node.right, node.left.value
+                if (column is None or column.side is not None
+                        or not isinstance(literal, str)):
+                    return node
+                dictionary = dictionary_for(column.name)
+                if dictionary is None:
+                    return node
+                code = dictionary.code(literal)
+                if code is None:
+                    return E.Lit(node.op == "!=")
+                return E.BinOp(node.op, code_column(dictionary), E.Lit(code))
+            return node
+        if isinstance(node, E.UnaryOp) and node.op == "not":
+            operand = rewrite(node.operand)
+            return node if operand is node.operand else E.UnaryOp("not", operand)
+        if isinstance(node, E.InList):
+            operand = node.operand
+            if (not isinstance(operand, E.Col) or operand.side is not None
+                    or not all(isinstance(v, str) for v in node.values)):
+                return node
+            dictionary = dictionary_for(operand.name)
+            if dictionary is None:
+                return node
+            codes = [dictionary.code(v) for v in node.values]
+            present = tuple(c for c in codes if c is not None)
+            if not present:
+                return E.Lit(False)
+            return E.InList(code_column(dictionary), present)
+        if isinstance(node, E.Like):
+            kind, needle = node.kind()
+            operand = node.operand
+            if ("%" in needle or not isinstance(operand, E.Col)
+                    or operand.side is not None):
+                return node
+            dictionary = dictionary_for(operand.name)
+            if dictionary is None:
+                return node
+            if kind == "equals":
+                code = dictionary.code(needle)
+                if code is None:
+                    return E.Lit(False)
+                return E.BinOp("==", code_column(dictionary), E.Lit(code))
+            if kind == "prefix":
+                lo, hi = dictionary.prefix_code_range(needle)
+                if lo >= hi:
+                    return E.Lit(False)
+                codes = code_column(dictionary)
+                return E.BinOp("and", E.BinOp(">=", codes, E.Lit(lo)),
+                               E.BinOp("<", codes, E.Lit(hi)))
+            return node
+        return node
+
+    rewritten = rewrite(predicate)
+    # `extra` can be empty even when something rewrote (a comparison against
+    # a value absent from the dictionary folds straight to a literal)
+    if rewritten is predicate:
+        return predicate, {}
+    return rewritten, extra
+
+
+# ---------------------------------------------------------------------------
+# The access layer itself
+# ---------------------------------------------------------------------------
+class AccessLayer:
+    """Lazily built, catalog-resident physical access structures.
+
+    One instance per catalog (:meth:`for_catalog`); every structure is built
+    at most once and shared by all engines and all queries against that
+    catalog — the "moved to loading time" amortization of the paper.
+    """
+
+    #: bound on memoized candidate lists (distinct (table, filters) keys)
+    _CANDIDATE_CACHE_LIMIT = 256
+
+    def __init__(self, catalog) -> None:
+        self.catalog = catalog
+        self._key_indices: Dict[Tuple[str, str], Optional[object]] = {}
+        self._dictionaries: Dict[Tuple[str, str], Optional[StringDictionary]] = {}
+        self._sorted_columns: Dict[Tuple[str, str], Optional[SortedColumn]] = {}
+        self._candidates: Dict[Tuple, object] = {}
+        #: ``(kind, table, column) -> times built`` — the build-once proof
+        self.build_counts: Dict[Tuple[str, str, str], int] = {}
+
+    @classmethod
+    def for_catalog(cls, catalog) -> "AccessLayer":
+        """The shared access layer of a catalog (created on first use).
+
+        Stored on the catalog object itself, so its lifetime — and that of
+        every memoized index — is exactly the catalog's lifetime.
+        """
+        layer = getattr(catalog, "_access_layer", None)
+        if layer is None:
+            layer = cls(catalog)
+            catalog._access_layer = layer
+        return layer
+
+    def invalidate_table(self, table: str) -> None:
+        """Drop every memoized structure of one table.
+
+        Called by :meth:`repro.storage.catalog.Catalog.register` when a
+        table's data is (re)loaded: indices, dictionaries, sorted columns and
+        cached candidate lists built against the old columns would otherwise
+        silently serve stale row positions.  ``build_counts`` is kept — it
+        counts constructions, and a legitimate rebuild after a reload is
+        exactly what it should record.
+        """
+        for memo in (self._key_indices, self._dictionaries,
+                     self._sorted_columns):
+            for key in [k for k in memo if k[0] == table]:
+                del memo[key]
+        for key in [k for k in self._candidates if k[0] == table]:
+            del self._candidates[key]
+
+    # ------------------------------------------------------------------
+    def _column_stats(self, table: str, column: str):
+        statistics = getattr(self.catalog, "statistics", None)
+        if statistics is None or not statistics.has_column(table, column):
+            return None
+        return statistics.column(table, column)
+
+    def _count_build(self, kind: str, table: str, column: str) -> None:
+        key = (kind, table, column)
+        self.build_counts[key] = self.build_counts.get(key, 0) + 1
+
+    # ------------------------------------------------------------------
+    # PK direct arrays / join indices
+    # ------------------------------------------------------------------
+    def key_index(self, table: str, column: str):
+        """The unique-key index of ``table.column``, or ``None``.
+
+        A :class:`DirectArray` when the key is dense
+        (``ColumnStatistics.is_dense_key``), a :class:`DictIndex` when it is
+        merely unique, ``None`` when the data is not unique after all (the
+        engines then fall back to the plain hash join).
+        """
+        key = (table, column)
+        if key not in self._key_indices:
+            self._key_indices[key] = self._build_key_index(table, column)
+        return self._key_indices[key]
+
+    def _build_key_index(self, table: str, column: str):
+        stats = self._column_stats(table, column)
+        if stats is None or not stats.is_unique:
+            return None
+        values = self.catalog.column(table, column)
+        self._count_build("key_index", table, column)
+        if stats.is_dense_key():
+            offset = stats.min_value
+            slots: List[Optional[int]] = [None] * (stats.max_value - offset + 1)
+            for position, value in enumerate(values):
+                slot = value - offset
+                if slots[slot] is not None:
+                    return None  # statistics lied: duplicate key
+                slots[slot] = position
+            return DirectArray(table, column, offset, slots)
+        positions: Dict[Any, int] = {}
+        for position, value in enumerate(values):
+            if value in positions:
+                return None
+            positions[value] = position
+        return DictIndex(table, column, positions)
+
+    # ------------------------------------------------------------------
+    # String dictionaries
+    # ------------------------------------------------------------------
+    def dictionary(self, table: str, column: str) -> Optional[StringDictionary]:
+        """The string dictionary of ``table.column`` (built once), or ``None``
+        when the column is not a reasonably-repetitive string column."""
+        key = (table, column)
+        if key not in self._dictionaries:
+            self._dictionaries[key] = self._build_dictionary(table, column)
+        return self._dictionaries[key]
+
+    def _build_dictionary(self, table: str, column: str) -> Optional[StringDictionary]:
+        stats = self._column_stats(table, column)
+        if stats is None or stats.num_rows == 0:
+            return None
+        if stats.num_distinct > _MAX_DICTIONARY_SIZE or \
+                stats.num_distinct >= stats.num_rows:
+            return None
+        values = self.catalog.column(table, column)
+        if not all(isinstance(value, str) for value in values):
+            return None
+        self._count_build("dictionary", table, column)
+        ordered = sorted(set(values))
+        code_of = {value: code for code, value in enumerate(ordered)}
+        codes = [code_of[value] for value in values]
+        return StringDictionary(table, column, ordered, codes, code_of)
+
+    # ------------------------------------------------------------------
+    # Sorted-column partition indices
+    # ------------------------------------------------------------------
+    def sorted_column(self, table: str, column: str) -> Optional[SortedColumn]:
+        key = (table, column)
+        if key not in self._sorted_columns:
+            self._sorted_columns[key] = self._build_sorted_column(table, column)
+        return self._sorted_columns[key]
+
+    def _build_sorted_column(self, table: str, column: str) -> Optional[SortedColumn]:
+        stats = self._column_stats(table, column)
+        if stats is None or stats.zone_map is None or stats.num_rows == 0:
+            return None  # no zone map means the values are not comparable
+        values = self.catalog.column(table, column)
+        self._count_build("sorted_column", table, column)
+        if stats.sorted_ascending:
+            return SortedColumn(table, column, values, range(len(values)),
+                                identity=True)
+        permutation = sorted(range(len(values)), key=values.__getitem__)
+        ordered = [values[i] for i in permutation]
+        return SortedColumn(table, column, ordered, permutation)
+
+    # ------------------------------------------------------------------
+    # Partition pruning
+    # ------------------------------------------------------------------
+    def prune_candidates(self, table: str, filters: Sequence[ZoneFilter],
+                         max_fraction: float = _MAX_PRUNE_FRACTION):
+        """Candidate base-row positions under ``filters``, in ascending row
+        order, or ``None`` when no sorted column prunes well enough.
+
+        Picks the filter column whose sorted permutation yields the smallest
+        candidate slice; the caller still evaluates the full predicate on the
+        survivors (the slice is a superset for every *other* conjunct).
+        """
+        num_rows = self.catalog.size(table)
+        if num_rows == 0:
+            return None
+        best: Optional[Tuple[int, SortedColumn, int, int]] = None
+        for column, bounds in _bounds_per_column(filters).items():
+            index = self.sorted_column(table, column)
+            if index is None:
+                continue
+            try:
+                start, stop = index.slice_bounds(bounds)
+            except TypeError:
+                continue  # filter literal not comparable to the column values
+            size = stop - start
+            if best is None or size < best[0]:
+                best = (size, index, start, stop)
+        if best is None or best[0] > max_fraction * num_rows:
+            return None
+        _, index, start, stop = best
+        if index.identity:
+            return range(start, stop)
+        return sorted(index.permutation[start:stop])
+
+    def chunk_ranges(self, table: str,
+                     filters: Sequence[ZoneFilter]) -> List[Tuple[int, int]]:
+        """Row ranges whose zone maps admit ``filters`` (adjacent chunks are
+        merged); ``[(0, num_rows)]`` when nothing can be skipped."""
+        num_rows = self.catalog.size(table)
+        per_column = _bounds_per_column(filters)
+        zoned = []
+        for column, bounds in per_column.items():
+            stats = self._column_stats(table, column)
+            if stats is not None and stats.zone_map is not None:
+                zoned.append((stats.zone_map, bounds))
+        if not zoned or num_rows == 0:
+            return [(0, num_rows)]
+        ranges: List[Tuple[int, int]] = []
+        num_chunks = zoned[0][0].num_chunks
+        for chunk in range(num_chunks):
+            admitted = True
+            for zone_map, bounds in zoned:
+                try:
+                    if not bounds.admits_chunk(zone_map.mins[chunk],
+                                               zone_map.maxs[chunk]):
+                        admitted = False
+                        break
+                except TypeError:
+                    continue  # incomparable literal: the zone cannot reject
+            if not admitted:
+                continue
+            start, stop = zoned[0][0].chunk_span(chunk, num_rows)
+            if ranges and ranges[-1][1] == start:
+                ranges[-1] = (ranges[-1][0], stop)
+            else:
+                ranges.append((start, stop))
+        return ranges
+
+    def pruned_indices(self, table: str, filters: Sequence[ZoneFilter]):
+        """The best available candidate-row sequence for a pruned scan:
+        the sorted-column slice when selective, else the zone-map-surviving
+        chunk ranges, else every row — ascending, reiterable, and memoized
+        per ``(table, filters)`` so the repeated-query regime pays the
+        slice-and-sort once."""
+        key = (table, tuple(filters))
+        cached = self._candidates.get(key)
+        if cached is None:
+            cached = self._compute_pruned_indices(table, filters)
+            if len(self._candidates) >= self._CANDIDATE_CACHE_LIMIT:
+                self._candidates.clear()
+            self._candidates[key] = cached
+        return cached
+
+    def _compute_pruned_indices(self, table: str, filters: Sequence[ZoneFilter]):
+        candidates = self.prune_candidates(table, filters)
+        if candidates is not None:
+            return candidates
+        ranges = self.chunk_ranges(table, filters)
+        num_rows = self.catalog.size(table)
+        if len(ranges) == 1 and ranges[0] == (0, num_rows):
+            return range(num_rows)
+        return list(chain.from_iterable(range(start, stop)
+                                        for start, stop in ranges))
+
+
+# ---------------------------------------------------------------------------
+# Helpers for template-expanded code (injected into its namespace)
+# ---------------------------------------------------------------------------
+def template_pruned_indices(db, table: str, filters: Sequence[ZoneFilter]):
+    """Runtime companion of the template expander's PrunedScan template."""
+    return AccessLayer.for_catalog(db).pruned_indices(table, filters)
+
+
+def template_key_index(db, table: str, column: str):
+    """Runtime companion of the template expander's IndexJoin template.
+
+    The expander only emits the index-probe template when the compile-time
+    catalog has a usable unique-key index; a run against a catalog whose data
+    breaks that assumption fails loudly instead of joining wrongly.
+    """
+    index = AccessLayer.for_catalog(db).key_index(table, column)
+    if index is None:
+        raise AccessError(
+            f"no unique-key index available for {table}.{column}; "
+            "the plan was expanded against a catalog that had one")
+    return index

@@ -31,12 +31,21 @@ class Catalog:
     # Loading
     # ------------------------------------------------------------------
     def register(self, table: ColumnarTable) -> None:
-        """Add a loaded table and compute its statistics."""
+        """Add a loaded table and compute its statistics.
+
+        Re-registering a table replaces its data: statistics are recomputed
+        and any access-layer structures built against the old columns
+        (key indices, sorted permutations, dictionaries) are invalidated so
+        they rebuild lazily from the new data.
+        """
         name = table.schema.name
         if not self.schema.has_table(name):
             self.schema.add(table.schema)
         self.tables[name] = table
         self.statistics.tables[name] = compute_table_statistics(table)
+        layer = getattr(self, "_access_layer", None)
+        if layer is not None:
+            layer.invalidate_table(name)
 
     def register_rows(self, schema: TableSchema, rows: Iterable[Dict[str, Any]]) -> None:
         self.register(ColumnarTable.from_rows(schema, list(rows)))
@@ -61,6 +70,16 @@ class Catalog:
 
     def table_names(self) -> List[str]:
         return list(self.tables)
+
+    # ------------------------------------------------------------------
+    # Physical access layer
+    # ------------------------------------------------------------------
+    def access_layer(self):
+        """The catalog's physical access layer (PK direct arrays, zone-map
+        pruning, string dictionaries), created on first use and memoized for
+        the catalog's lifetime — see :mod:`repro.storage.access`."""
+        from .access import AccessLayer
+        return AccessLayer.for_catalog(self)
 
     # ------------------------------------------------------------------
     # Schema helpers used by the optimizer / index inference

@@ -84,12 +84,23 @@ class RowTable:
     fields: Sequence[str]
     rows: List[tuple] = field(default_factory=list)
 
+    def __post_init__(self) -> None:
+        # name -> position, computed once: field_index sits on per-row access
+        # paths and must not rebuild (and linearly search) the field list on
+        # every call.
+        self._field_positions = {name: i for i, name in enumerate(self.fields)}
+
     @property
     def num_rows(self) -> int:
         return len(self.rows)
 
     def field_index(self, name: str) -> int:
-        return list(self.fields).index(name)
+        try:
+            return self._field_positions[name]
+        except KeyError:
+            raise LayoutError(
+                f"row table {self.schema.name!r} has no field {name!r}; "
+                f"fields: {list(self.fields)}") from None
 
     @classmethod
     def from_columnar(cls, table: ColumnarTable, fields: Sequence[str] = ()) -> "RowTable":

@@ -1,0 +1,188 @@
+"""Execution tests for the access paths across all three direct engines.
+
+The planner's access rules are order- and value-preserving, so every plan
+containing ``PrunedScan`` / ``IndexJoin`` must return exactly — ``==``, not
+just multiset-equal — the rows of its raw counterpart on the Volcano
+interpreter, the vectorized engine and the template expander.
+"""
+import pytest
+
+from repro.dsl import qplan as Q
+from repro.dsl.expr import col, date
+from repro.engine.template_expander import TemplateExpander
+from repro.engine.vectorized import VectorizedEngine
+from repro.engine.volcano import VolcanoEngine
+from repro.planner import Planner, PlannerOptions
+from repro.storage.catalog import Catalog
+from repro.storage.layouts import ColumnarTable
+from repro.storage.schema import TableSchema, int_column, string_column
+from repro.tpch.queries import build_query
+
+#: queries whose optimized plans exercise both access ops (and Q4's semi join)
+ACCESS_QUERIES = ("Q3", "Q4", "Q6", "Q10", "Q12", "Q14", "Q19")
+
+
+@pytest.fixture(scope="module")
+def planner(tpch_catalog):
+    # exact_order keeps the comparison at plain list equality
+    return Planner(tpch_catalog, PlannerOptions.exact_order())
+
+
+class TestExactRowParity:
+    @pytest.mark.parametrize("query_name", ACCESS_QUERIES)
+    def test_volcano(self, tpch_catalog, planner, query_name):
+        raw = build_query(query_name)
+        optimized = planner.optimize(build_query(query_name))
+        engine = VolcanoEngine(tpch_catalog)
+        assert engine.execute(optimized) == engine.execute(raw)
+
+    @pytest.mark.parametrize("query_name", ACCESS_QUERIES)
+    def test_vectorized(self, tpch_catalog, planner, query_name):
+        raw = build_query(query_name)
+        optimized = planner.optimize(build_query(query_name))
+        engine = VectorizedEngine(tpch_catalog)
+        assert engine.execute(optimized) == engine.execute(raw)
+
+    @pytest.mark.parametrize("query_name", ACCESS_QUERIES)
+    def test_vectorized_with_small_batches(self, tpch_catalog, planner, query_name):
+        raw = build_query(query_name)
+        optimized = planner.optimize(build_query(query_name))
+        engine = VectorizedEngine(tpch_catalog, batch_size=17)
+        assert engine.execute(optimized) == engine.execute(raw)
+
+    @pytest.mark.parametrize("query_name", ACCESS_QUERIES)
+    def test_template_expander(self, tpch_catalog, planner, query_name):
+        raw = build_query(query_name)
+        optimized = planner.optimize(build_query(query_name))
+        expander = TemplateExpander(tpch_catalog)
+        assert expander.compile(optimized, query_name).run(tpch_catalog) == \
+            expander.compile(raw, query_name).run(tpch_catalog)
+
+    def test_template_source_uses_the_index_and_prune_helpers(self, tpch_catalog,
+                                                              planner):
+        optimized = planner.optimize(build_query("Q12"))
+        source = TemplateExpander(tpch_catalog).compile(optimized, "Q12").source
+        assert "_tpl_index(db, 'orders', 'o_orderkey')" in source
+        assert "_tpl_prune(db, 'lineitem'" in source
+
+
+class TestIndexJoinKinds:
+    """Hand-built IndexJoins of every supported kind match their HashJoins."""
+
+    def _pair(self, kind, residual=None):
+        hash_plan = Q.HashJoin(Q.Scan("customer"), Q.Scan("orders"),
+                               col("c_custkey"), col("o_custkey"),
+                               kind=kind, residual=residual)
+        index_plan = Q.IndexJoin(Q.Scan("customer"), Q.Scan("orders"),
+                                 col("c_custkey"), col("o_custkey"),
+                                 kind=kind, residual=residual,
+                                 index_table="customer",
+                                 index_column="c_custkey")
+        return hash_plan, index_plan
+
+    @pytest.mark.parametrize("kind", ["inner", "leftsemi", "leftanti"])
+    def test_bare_build_kinds(self, tpch_catalog, kind):
+        hash_plan, index_plan = self._pair(kind)
+        for engine in (VolcanoEngine(tpch_catalog),
+                       VectorizedEngine(tpch_catalog)):
+            assert engine.execute(index_plan) == engine.execute(hash_plan)
+        expander = TemplateExpander(tpch_catalog)
+        assert expander.compile(index_plan).run(tpch_catalog) == \
+            expander.compile(hash_plan).run(tpch_catalog)
+
+    @pytest.mark.parametrize("kind", ["inner", "leftsemi", "leftanti"])
+    def test_filtered_build_kinds(self, tpch_catalog, kind):
+        predicate = col("c_custkey") <= 40
+        hash_plan = Q.HashJoin(
+            Q.Select(Q.Scan("customer"), predicate), Q.Scan("orders"),
+            col("c_custkey"), col("o_custkey"), kind=kind)
+        index_plan = Q.IndexJoin(
+            Q.Select(Q.Scan("customer"), predicate), Q.Scan("orders"),
+            col("c_custkey"), col("o_custkey"), kind=kind,
+            index_table="customer", index_column="c_custkey")
+        for engine in (VolcanoEngine(tpch_catalog),
+                       VectorizedEngine(tpch_catalog)):
+            assert engine.execute(index_plan) == engine.execute(hash_plan)
+        expander = TemplateExpander(tpch_catalog)
+        assert expander.compile(index_plan).run(tpch_catalog) == \
+            expander.compile(hash_plan).run(tpch_catalog)
+
+    def test_residual_predicate(self, tpch_catalog):
+        residual = col("o_orderdate") < date("1995-01-01")
+        hash_plan, index_plan = self._pair("inner", residual=residual)
+        for engine in (VolcanoEngine(tpch_catalog),
+                       VectorizedEngine(tpch_catalog)):
+            assert engine.execute(index_plan) == engine.execute(hash_plan)
+
+
+class TestSparseUniqueKeys:
+    """A unique-but-sparse key is served by the dict-backed index."""
+
+    def _catalog(self):
+        catalog = Catalog()
+        dim = TableSchema("dim", [int_column("d_id"), string_column("d_name")],
+                          primary_key=("d_id",))
+        fact = TableSchema("fact", [int_column("f_id"), int_column("f_did")],
+                           primary_key=("f_id",))
+        catalog.register(ColumnarTable(dim, {
+            "d_id": [5, 700000, 31],
+            "d_name": ["a", "b", "c"],
+        }))
+        catalog.register(ColumnarTable(fact, {
+            "f_id": [1, 2, 3, 4],
+            "f_did": [31, 5, 999, 700000],
+        }))
+        return catalog
+
+    def test_dict_index_join_matches_hash_join(self):
+        catalog = self._catalog()
+        from repro.storage.access import DictIndex
+        assert isinstance(catalog.access_layer().key_index("dim", "d_id"),
+                          DictIndex)
+        hash_plan = Q.HashJoin(Q.Scan("dim"), Q.Scan("fact"),
+                               col("d_id"), col("f_did"))
+        index_plan = Q.IndexJoin(Q.Scan("dim"), Q.Scan("fact"),
+                                 col("d_id"), col("f_did"),
+                                 index_table="dim", index_column="d_id")
+        for engine in (VolcanoEngine(catalog), VectorizedEngine(catalog)):
+            assert engine.execute(index_plan) == engine.execute(hash_plan)
+
+
+class TestBuildOnce:
+    def test_indices_are_reused_across_engines_and_executions(self, tpch_catalog):
+        layer = tpch_catalog.access_layer()
+        plan = Planner(tpch_catalog).optimize(build_query("Q12"))
+        VolcanoEngine(tpch_catalog).execute(plan)
+        counts = dict(layer.build_counts)
+        assert counts[("key_index", "orders", "o_orderkey")] == 1
+        # more executions, a different engine, a fresh engine instance:
+        # nothing is ever rebuilt
+        VolcanoEngine(tpch_catalog).execute(plan)
+        VectorizedEngine(tpch_catalog).execute(plan)
+        VectorizedEngine(tpch_catalog).execute(plan)
+        assert layer.build_counts == counts
+
+
+class TestDictionaryEncodedSelects:
+    def test_string_equality_on_vectorized_matches_volcano(self, tpch_catalog):
+        plan = Q.Agg(
+            Q.Select(Q.Scan("customer"), col("c_mktsegment") == "BUILDING"),
+            [("c_mktsegment", col("c_mktsegment"))],
+            [Q.AggSpec("count", None, "n")])
+        assert VectorizedEngine(tpch_catalog).execute(plan) == \
+            VolcanoEngine(tpch_catalog).execute(plan)
+
+    def test_absent_string_selects_nothing(self, tpch_catalog):
+        plan = Q.Select(Q.Scan("customer"), col("c_mktsegment") == "NO SUCH")
+        assert VectorizedEngine(tpch_catalog).execute(plan) == []
+
+    def test_dictionary_built_once_for_repeated_selects(self, tpch_catalog):
+        engine = VectorizedEngine(tpch_catalog)
+        plan = Q.Select(Q.Scan("customer"), col("c_mktsegment") == "BUILDING")
+        engine.execute(plan)
+        layer = tpch_catalog.access_layer()
+        count = layer.build_counts[("dictionary", "customer", "c_mktsegment")]
+        engine.execute(plan)
+        engine.execute(plan)
+        assert layer.build_counts[
+            ("dictionary", "customer", "c_mktsegment")] == count == 1

@@ -158,6 +158,41 @@ class TestTopKFusion:
                                    sort_keys=contract)
 
 
+class TestAccessPathsDefaultOn:
+    """The physical access-path rules run in the default rule set — every
+    contract-parity check above therefore already executes ``PrunedScan`` /
+    ``IndexJoin`` plans on all three direct engines.  This class pins the
+    selection itself: the ops are present where expected, on by default,
+    and order-preserving (exact ``==`` against the raw plan)."""
+
+    #: queries whose default-optimized plans must carry each op
+    INDEX_JOIN_QUERIES = ("Q10", "Q12", "Q14", "Q18")
+    PRUNED_SCAN_QUERIES = ("Q1", "Q3", "Q4", "Q6", "Q12", "Q14", "Q19")
+
+    def test_index_joins_selected(self, tpch_catalog, default_planner):
+        for query_name in self.INDEX_JOIN_QUERIES:
+            optimized = default_planner.optimize(build_query(query_name))
+            assert any(isinstance(node, Q.IndexJoin)
+                       for node in Q.walk(optimized)), query_name
+
+    def test_pruned_scans_selected(self, tpch_catalog, default_planner):
+        for query_name in self.PRUNED_SCAN_QUERIES:
+            optimized = default_planner.optimize(build_query(query_name))
+            assert any(isinstance(node, Q.PrunedScan)
+                       for node in Q.walk(optimized)), query_name
+
+    @pytest.mark.parametrize("query_name", QUERY_NAMES)
+    def test_access_ops_preserve_exact_order(self, tpch_catalog, exact_planner,
+                                             query_name):
+        """Under exact_order() the access rules still fire, and the result is
+        ``==``-identical on the engine with the most specialised access-path
+        execution (vectorized: pruning, index probing, dictionaries)."""
+        raw = build_query(query_name)
+        optimized = exact_planner.optimize(build_query(query_name))
+        engine = VectorizedEngine(tpch_catalog)
+        assert engine.execute(optimized) == engine.execute(raw)
+
+
 class TestPlannerThroughCompilerFlag:
     def test_cache_is_keyed_on_the_optimized_fingerprint(self, tpch_catalog):
         """Compiling a raw plan and its pre-optimized form shares one entry."""

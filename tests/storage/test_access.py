@@ -1,0 +1,332 @@
+"""Unit tests for the physical access layer (repro.storage.access)."""
+import pytest
+
+from repro.dsl.expr import col, date, in_list, like, lit
+from repro.dsl.expr_compile import compile_columnar_predicate, compile_row
+from repro.storage.access import (AccessLayer, DictIndex, DirectArray,
+                                  extract_zone_filters,
+                                  rewrite_string_predicates,
+                                  template_key_index, template_pruned_indices)
+from repro.storage.access import AccessError
+from repro.storage.catalog import Catalog
+from repro.storage.layouts import ColumnarTable
+from repro.storage.schema import (TableSchema, float_column, int_column,
+                                  string_column)
+
+
+def _catalog(rows=None):
+    """R: dense PK; S: sparse unique id; values cover strings and floats."""
+    catalog = Catalog()
+    r_schema = TableSchema("R", [int_column("r_id"), string_column("r_tag"),
+                                 float_column("r_val")], primary_key=("r_id",))
+    s_schema = TableSchema("S", [int_column("s_id"), int_column("s_rid")],
+                           primary_key=("s_id",))
+    catalog.register(ColumnarTable(r_schema, {
+        "r_id": [10, 11, 12, 13, 14],
+        "r_tag": ["beta", "alpha", "beta", "gamma", "alpha"],
+        "r_val": [5.0, 1.0, 3.0, 2.0, 4.0],
+    }))
+    catalog.register(ColumnarTable(s_schema, {
+        "s_id": [7, 900000, 12],          # unique but far from dense
+        "s_rid": [10, 12, 99],
+    }))
+    return catalog
+
+
+class TestKeyIndex:
+    def test_dense_key_gets_a_direct_array(self):
+        layer = _catalog().access_layer()
+        index = layer.key_index("R", "r_id")
+        assert isinstance(index, DirectArray)
+        assert index.lookup(10) == 0
+        assert index.lookup(14) == 4
+        assert index.lookup(15) is None
+        assert index.lookup(9) is None
+
+    def test_direct_array_matches_hash_key_semantics(self):
+        index = _catalog().access_layer().key_index("R", "r_id")
+        # a float that equals an int key must match, like a dict lookup would
+        assert index.lookup(12.0) == 2
+        assert index.lookup(12.5) is None
+        assert index.lookup("12") is None
+
+    def test_sparse_unique_key_gets_a_dict_index(self):
+        index = _catalog().access_layer().key_index("S", "s_id")
+        assert isinstance(index, DictIndex)
+        assert index.lookup(900000) == 1
+        assert index.lookup(8) is None
+
+    def test_non_unique_column_has_no_index(self):
+        assert _catalog().access_layer().key_index("R", "r_tag") is None
+
+    def test_built_once_and_memoized(self):
+        catalog = _catalog()
+        layer = catalog.access_layer()
+        first = layer.key_index("R", "r_id")
+        for _ in range(3):
+            assert layer.key_index("R", "r_id") is first
+        assert layer.build_counts[("key_index", "R", "r_id")] == 1
+        # the layer itself is memoized on the catalog
+        assert AccessLayer.for_catalog(catalog) is layer
+        assert catalog.access_layer() is layer
+
+
+class TestStringDictionary:
+    def test_codes_follow_sorted_value_order(self):
+        dictionary = _catalog().access_layer().dictionary("R", "r_tag")
+        assert dictionary.values == ["alpha", "beta", "gamma"]
+        assert dictionary.codes == [1, 0, 1, 2, 0]
+        assert dictionary.code("gamma") == 2
+        assert dictionary.code("delta") is None
+
+    def test_prefix_code_range(self):
+        dictionary = _catalog().access_layer().dictionary("R", "r_tag")
+        lo, hi = dictionary.prefix_code_range("a")
+        assert (lo, hi) == (0, 1)
+        assert dictionary.prefix_code_range("x") == (3, 3)
+
+    def test_almost_unique_column_is_not_encoded(self):
+        catalog = Catalog()
+        schema = TableSchema("T", [int_column("t_id"), string_column("t_s")],
+                             primary_key=("t_id",))
+        catalog.register(ColumnarTable(schema, {
+            "t_id": [1, 2, 3],
+            "t_s": ["a", "b", "c"],    # every value distinct
+        }))
+        assert catalog.access_layer().dictionary("T", "t_s") is None
+
+    def test_non_string_column_is_not_encoded(self):
+        assert _catalog().access_layer().dictionary("R", "r_val") is None
+
+
+class TestSortedColumn:
+    def test_unsorted_column_gets_a_permutation(self):
+        index = _catalog().access_layer().sorted_column("R", "r_val")
+        assert index.values == [1.0, 2.0, 3.0, 4.0, 5.0]
+        assert list(index.permutation) == [1, 3, 2, 4, 0]
+        assert not index.identity
+
+    def test_sorted_column_is_identity(self):
+        index = _catalog().access_layer().sorted_column("R", "r_id")
+        assert index.identity
+        assert list(index.permutation) == [0, 1, 2, 3, 4]
+
+
+class TestZoneFilterExtraction:
+    def test_range_equality_and_prefix_conjuncts(self):
+        predicate = ((col("r_val") > 2.0) & (col("r_tag") == "beta")
+                     & like(col("r_tag"), "be%") & (lit(3.0) >= col("r_val")))
+        filters = extract_zone_filters(predicate, ["r_val", "r_tag"])
+        assert ("r_val", ">", 2.0) in filters
+        assert ("r_tag", "==", "beta") in filters
+        assert ("r_tag", "prefix", "be") in filters
+        # literal-on-the-left comparisons are flipped onto the column
+        assert ("r_val", "<=", 3.0) in filters
+
+    def test_unprunable_conjuncts_are_ignored(self):
+        predicate = ((col("a") < col("b"))               # column/column
+                     & ((col("a") > 1) | (col("b") > 2))  # disjunction
+                     & in_list(col("a"), [1, 2])          # IN list
+                     & (col("c") > 5))                    # unknown column
+        assert extract_zone_filters(predicate, ["a", "b"]) == ()
+
+
+class TestPruning:
+    def test_candidates_are_ascending_and_cover_all_matches(self):
+        layer = _catalog().access_layer()
+        candidates = layer.prune_candidates("R", [("r_val", ">", 3.5)])
+        assert list(candidates) == sorted(candidates)
+        assert set(candidates) == {0, 4}      # 5.0 and 4.0
+
+    def test_equality_on_strings_prunes(self):
+        layer = _catalog().access_layer()
+        candidates = layer.prune_candidates("R", [("r_tag", "==", "gamma")])
+        assert list(candidates) == [3]
+
+    def test_unselective_range_returns_none(self):
+        layer = _catalog().access_layer()
+        assert layer.prune_candidates("R", [("r_val", ">", 0.0)]) is None
+
+    def test_combined_bounds_on_one_column(self):
+        layer = _catalog().access_layer()
+        candidates = layer.prune_candidates(
+            "R", [("r_val", ">=", 2.0), ("r_val", "<", 4.0)])
+        assert set(candidates) == {2, 3}      # 3.0 and 2.0
+
+    def test_chunk_ranges_skip_on_sorted_columns(self):
+        catalog = Catalog()
+        schema = TableSchema("T", [int_column("t_id")], primary_key=("t_id",))
+        catalog.register(ColumnarTable(schema, {"t_id": list(range(5000))}))
+        ranges = catalog.access_layer().chunk_ranges("T", [("t_id", ">=", 4096)])
+        assert ranges == [(4096, 5000)]
+        # and an impossible filter admits no chunk at all
+        assert catalog.access_layer().chunk_ranges("T", [("t_id", ">", 9999)]) == []
+
+    def test_pruned_indices_is_memoized(self):
+        layer = _catalog().access_layer()
+        first = layer.pruned_indices("R", (("r_val", ">", 3.5),))
+        assert layer.pruned_indices("R", (("r_val", ">", 3.5),)) is first
+
+    def test_template_helper_falls_back_to_every_row(self):
+        catalog = _catalog()
+        rows = template_pruned_indices(catalog, "R", ())
+        assert list(rows) == [0, 1, 2, 3, 4]
+
+    def test_template_key_index_raises_without_an_index(self):
+        with pytest.raises(AccessError):
+            template_key_index(_catalog(), "R", "r_tag")
+
+
+class TestDictionaryRewrite:
+    def _rewrite(self, predicate):
+        catalog = _catalog()
+        layer = catalog.access_layer()
+        schema = catalog.schema.table("R")
+        rewritten, extra = rewrite_string_predicates(
+            predicate, "R", schema.columns, layer)
+        return catalog, rewritten, extra
+
+    def _equivalent(self, predicate):
+        """The rewritten predicate selects exactly the same rows."""
+        catalog, rewritten, extra = self._rewrite(predicate)
+        table = catalog.table("R")
+        columns = {name: table.column(name) for name in table.columns}
+        columns.update(extra)
+        reference = compile_row(predicate)
+        expected = [i for i in range(table.num_rows)
+                    if reference(table.row_dict(i))]
+        actual = compile_columnar_predicate(rewritten)(
+            columns, range(table.num_rows))
+        assert list(actual) == expected
+        return rewritten, extra
+
+    def test_equality_becomes_code_comparison(self):
+        rewritten, extra = self._equivalent(col("r_tag") == "beta")
+        assert "r_tag#dict" in extra
+        assert repr(rewritten) != repr(col("r_tag") == "beta")
+
+    def test_absent_value_folds_to_false(self):
+        _, rewritten, extra = self._rewrite(col("r_tag") == "nope")
+        assert not extra
+        assert repr(rewritten) == "Lit(False)"
+
+    def test_inequality_in_list_and_prefix(self):
+        self._equivalent(col("r_tag") != "alpha")
+        self._equivalent(in_list(col("r_tag"), ["alpha", "gamma", "nope"]))
+        self._equivalent(like(col("r_tag"), "be%"))
+        self._equivalent((col("r_tag") == "alpha") & (col("r_val") > 2.0))
+
+    def test_non_string_predicates_pass_through(self):
+        _, rewritten, extra = self._rewrite(col("r_val") > 2.0)
+        assert not extra
+        assert rewritten is not None
+
+
+class TestWarmLoading:
+    def test_warm_access_paths_builds_pk_indices_and_dictionaries(self):
+        from repro.storage.loader import warm_access_paths
+        catalog = _catalog()
+        warm_access_paths(catalog)
+        layer = catalog.access_layer()
+        assert layer.build_counts[("key_index", "R", "r_id")] == 1
+        assert layer.build_counts[("key_index", "S", "s_id")] == 1
+        assert layer.build_counts[("dictionary", "R", "r_tag")] == 1
+        # warming twice never rebuilds
+        warm_access_paths(catalog)
+        assert layer.build_counts[("key_index", "R", "r_id")] == 1
+
+
+class TestReloadInvalidation:
+    def test_reregistering_a_table_invalidates_its_structures(self):
+        catalog = _catalog()
+        layer = catalog.access_layer()
+        stale_index = layer.key_index("R", "r_id")
+        stale_candidates = layer.pruned_indices("R", (("r_val", ">", 3.5),))
+        assert stale_index.lookup(10) == 0
+        assert set(stale_candidates) == {0, 4}
+        # reload R with shifted keys and different values
+        schema = catalog.schema.table("R")
+        catalog.register(ColumnarTable(schema, {
+            "r_id": [20, 21, 22],
+            "r_tag": ["x", "x", "y"],
+            "r_val": [9.0, 1.0, 1.0],
+        }))
+        index = layer.key_index("R", "r_id")
+        assert index is not stale_index
+        assert index.lookup(10) is None
+        assert index.lookup(20) == 0
+        assert set(layer.pruned_indices("R", (("r_val", ">", 3.5),))) == {0}
+        # untouched tables keep their memoized structures
+        assert layer.key_index("S", "s_id") is layer.key_index("S", "s_id")
+
+    def test_index_join_sees_reloaded_data(self):
+        from repro.dsl.qplan import HashJoin, IndexJoin, Scan
+        catalog = _catalog()
+        volcano = __import__("repro.engine.volcano", fromlist=["VolcanoEngine"])
+        engine = volcano.VolcanoEngine(catalog)
+        index_plan = IndexJoin(Scan("R"), Scan("S"), col("r_id"), col("s_rid"),
+                               index_table="R", index_column="r_id")
+        hash_plan = HashJoin(Scan("R"), Scan("S"), col("r_id"), col("s_rid"))
+        assert engine.execute(index_plan) == engine.execute(hash_plan)
+        schema = catalog.schema.table("R")
+        catalog.register(ColumnarTable(schema, {
+            "r_id": [12, 10, 99],
+            "r_tag": ["n1", "n2", "n3"],
+            "r_val": [1.0, 2.0, 3.0],
+        }))
+        assert engine.execute(index_plan) == engine.execute(hash_plan)
+
+
+class TestStatisticsZoneMaps:
+    def test_zone_map_and_sortedness_are_collected_at_load(self):
+        catalog = _catalog()
+        stats = catalog.statistics.column("R", "r_id")
+        assert stats.sorted_ascending
+        assert stats.is_unique
+        assert stats.zone_map is not None
+        assert stats.zone_map.mins == [10]
+        assert stats.zone_map.maxs == [14]
+        val = catalog.statistics.column("R", "r_val")
+        assert not val.sorted_ascending
+        assert (val.min_value, val.max_value) == (1.0, 5.0)
+
+    def test_chunked_zone_maps(self):
+        from repro.storage.statistics import compute_column_statistics
+        stats = compute_column_statistics("c", list(range(5000)), chunk_rows=2048)
+        assert stats.zone_map.num_chunks == 3
+        assert stats.zone_map.mins == [0, 2048, 4096]
+        assert stats.zone_map.maxs == [2047, 4095, 4999]
+        assert stats.sorted_ascending
+
+    def test_columns_by_name_merges_tables(self):
+        catalog = _catalog()
+        merged = catalog.statistics.columns_by_name()
+        assert merged["r_id"].num_distinct == 5
+        assert merged["s_id"].num_distinct == 3
+
+    def test_date_range_still_interpolates_in_the_estimator(self):
+        # the estimator consumes the same load-time min/max the zone maps use
+        from repro.planner.cardinality import CardinalityEstimator
+        from repro.dsl.qplan import Scan, Select
+        catalog = _catalog()
+        estimator = CardinalityEstimator(catalog)
+        selective = estimator.estimate_rows(
+            Select(Scan("R"), col("r_val") > 4.5))
+        broad = estimator.estimate_rows(Select(Scan("R"), col("r_val") > 1.5))
+        assert selective < broad
+
+
+def test_date_literals_prune_like_integers():
+    """Date columns are stored as ints; date() literals prune directly."""
+    catalog = Catalog()
+    schema = TableSchema("T", [int_column("t_id"), int_column("t_date")],
+                         primary_key=("t_id",))
+    catalog.register(ColumnarTable(schema, {
+        "t_id": [1, 2, 3, 4],
+        "t_date": [19940105, 19950215, 19930301, 19940620],
+    }))
+    filters = extract_zone_filters(
+        (col("t_date") >= date("1994-01-01")) & (col("t_date") < date("1995-01-01")),
+        ["t_date"])
+    candidates = catalog.access_layer().prune_candidates("T", filters)
+    assert set(candidates) == {0, 3}
