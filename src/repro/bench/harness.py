@@ -236,6 +236,22 @@ class BenchmarkHarness:
         measurement.plan_mode = plan_mode
         return measurement
 
+    def run_once(self, query_name: str, engine: str, plan) -> list:
+        """Execute one plan on one engine outside the timed path and return
+        its rows — the warm-up / verification counterpart of :meth:`measure`,
+        routed exactly like it (compiled stacks go through the same compiled
+        cache, so a later ``measure`` reuses what this call built)."""
+        if engine in DIRECT_ENGINE_NAMES:
+            return build_direct_engine(engine, self.catalog).execute(plan)
+        if engine == "template-expander":
+            return TemplateExpander(self.catalog).compile(
+                plan, query_name).run(self.catalog)
+        if engine in self._configs:
+            compiled = self._compiled(query_name, engine, plan)
+            aux = compiled.prepare(self.catalog)
+            return compiled.run(self.catalog, aux)
+        raise KeyError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
+
     def _dispatch(self, query_name: str, engine: str, plan,
                   measure_memory: bool) -> Measurement:
         if engine in DIRECT_ENGINE_NAMES:

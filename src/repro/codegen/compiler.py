@@ -24,6 +24,7 @@ from ..ir.nodes import Program
 from ..stack.context import CompilationContext, OptimizationFlags
 from ..stack.language import QMONAD, QPLAN
 from ..stack.pipeline import CompilationResult, DslStack
+from ..storage.access import AccessLayer
 from ..storage.catalog import Catalog
 from . import runtime
 from .unparser import PythonUnparser
@@ -48,16 +49,27 @@ class CompiledQuery:
     _prepare_fn: Any = None
     _query_fn: Any = None
     _aux: Optional[Dict[str, Any]] = None
+    _aux_generation: Optional[int] = None
 
     def prepare(self, db: Catalog) -> Dict[str, Any]:
         """Run the data-loading-time section (index builds, dictionaries, pools)."""
         self._aux = self._prepare_fn(db, runtime)
+        self._aux_generation = AccessLayer.for_catalog(db).generation
         return self._aux
 
     def run(self, db: Catalog, aux: Optional[Dict[str, Any]] = None) -> List[Dict[str, Any]]:
-        """Execute the compiled query body and return its result rows."""
+        """Execute the compiled query body and return its result rows.
+
+        The memoized prepared state is stamped with the catalog's
+        access-layer generation: re-registering a table invalidates it, so a
+        later ``run()`` re-prepares instead of silently serving structures
+        (index objects, candidate row lists, dictionaries) built against the
+        replaced data.  An explicitly passed ``aux`` is the caller's
+        responsibility and is used as-is.
+        """
         if aux is None:
-            if self._aux is None:
+            if self._aux is None or \
+                    self._aux_generation != AccessLayer.for_catalog(db).generation:
                 self.prepare(db)
             aux = self._aux
         return self._query_fn(db, runtime, aux)
@@ -117,8 +129,14 @@ class QueryCompiler:
         if not isinstance(plan, Q.Operator):
             return None  # QMonad chains are not fingerprinted (yet)
         flags_key = tuple(sorted(self.flags.__dict__.items()))
+        # The access-layer generation is bumped whenever a table is
+        # (re)registered: compiled queries bake in statistics-derived facts
+        # (dense key ranges, dictionary availability) and close over memoized
+        # index objects through prepare(), so a query compiled against the
+        # previous data must miss the cache and recompile.
+        generation = AccessLayer.for_catalog(catalog).generation
         return (Q.plan_fingerprint(plan), self.stack.name, flags_key,
-                query_name, id(catalog))
+                query_name, id(catalog), generation)
 
     def compile(self, plan, catalog: Catalog,
                 query_name: str = "query") -> CompiledQuery:
@@ -156,7 +174,8 @@ class QueryCompiler:
                     # The id() component of the key could alias a dead catalog;
                     # the weak reference check rules that out.
                     QueryCompiler.cache_stats.hits += 1
-                    return replace(cached, cache_hit=True, _aux=None)
+                    return replace(cached, cache_hit=True, _aux=None,
+                                   _aux_generation=None)
                 del QueryCompiler._cache[key]
 
         context = CompilationContext(catalog=catalog, flags=self.flags,

@@ -267,7 +267,7 @@ class VectorizedEngine(SubplanSharing):
         index = AccessLayer.for_catalog(self.catalog).key_index(
             plan.index_table, plan.index_column)
         parts = plan.build_parts()
-        if index is None or parts is None or plan.kind == "leftouter":
+        if index is None or parts is None:
             yield from self._hash_join(plan)
             return
         scan, build_predicate = parts
@@ -358,6 +358,57 @@ class VectorizedEngine(SubplanSharing):
                     source = batch.columns[name]
                     columns[name] = [source[i] for i in right_idx]
                 yield ColumnBatch(columns, None, len(left_idx))
+            return
+
+        if plan.kind == "leftouter":
+            # Matched pairs gather in probe order; probe misses contribute
+            # nothing.  The filter-surviving build rows that never matched
+            # follow null-padded in base (= bucket) order — the same
+            # matched-pairs-then-padding emission as :meth:`_probe_outer`.
+            matched: set = set()
+            left_idx: List[int] = []
+            right_values: Dict[str, List[Any]] = {name: [] for name in right_fields}
+            for batch in self.execute_batches(plan.right):
+                indices = batch.indices()
+                keys = right_key(batch.columns, indices)
+                residual = (residual_binder(base_columns, batch.columns)
+                            if residual_binder is not None else None)
+                positions = resolve(keys)
+                if build_pass is not None:
+                    screen(positions)
+                batch_columns = [batch.columns[name] for name in right_fields]
+                outputs = [right_values[name] for name in right_fields]
+                for pos, i in enumerate(indices):
+                    j = positions[pos]
+                    if j is None:
+                        continue
+                    if build_pass is not None and not verdicts[j]:
+                        continue
+                    if residual is None or residual(j, i):
+                        matched.add(j)
+                        left_idx.append(j)
+                        for source, out in zip(batch_columns, outputs):
+                            out.append(source[i])
+            columns: Dict[str, List[Any]] = {}
+            for name in left_fields:
+                source = base_columns[name]
+                columns[name] = [source[j] for j in left_idx]
+            columns.update(right_values)
+            yield ColumnBatch(columns, None, len(left_idx))
+
+            if build_pass is not None:
+                surviving = compile_columnar_predicate(
+                    build_predicate)(base_columns, range(table.num_rows))
+            else:
+                surviving = range(table.num_rows)
+            unmatched = [j for j in surviving if j not in matched]
+            columns = {}
+            for name in left_fields:
+                source = base_columns[name]
+                columns[name] = [source[j] for j in unmatched]
+            for name in right_fields:
+                columns[name] = [None] * len(unmatched)
+            yield ColumnBatch(columns, None, len(unmatched))
             return
 
         # leftsemi / leftanti: mark matched build positions, then emit the

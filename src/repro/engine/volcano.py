@@ -126,7 +126,7 @@ class VolcanoEngine(SubplanSharing):
         index = AccessLayer.for_catalog(self.catalog).key_index(
             plan.index_table, plan.index_column)
         parts = plan.build_parts()
-        if index is None or parts is None or plan.kind == "leftouter":
+        if index is None or parts is None:
             yield from self._hash_join(plan)
             return
         scan, build_predicate = parts
@@ -161,6 +161,32 @@ class VolcanoEngine(SubplanSharing):
                     continue
                 if residual is None or residual(left_row, right_row):
                     yield {**left_row, **right_row}
+            return
+
+        if plan.kind == "leftouter":
+            # Probe misses contribute nothing; matched pairs stream out in
+            # probe order, then the filter-surviving build rows that never
+            # matched are emitted null-padded in base (= bucket) order —
+            # exactly :meth:`_probe_outer`'s matched-pairs-then-padding order.
+            right_fields = qplan.output_fields(plan.right, self.catalog)
+            null_pad = {name: None for name in right_fields}
+            matched_positions: set = set()
+            for right_row in self.iterate(plan.right):
+                position = lookup(right_key(right_row))
+                if position is None:
+                    continue
+                left_row = build_row(position)
+                if left_row is None:
+                    continue
+                if residual is None or residual(left_row, right_row):
+                    matched_positions.add(position)
+                    yield {**left_row, **right_row}
+            for position in range(table.num_rows):
+                if position in matched_positions:
+                    continue
+                left_row = build_row(position)
+                if left_row is not None:
+                    yield {**left_row, **null_pad}
             return
 
         # leftsemi / leftanti: collect matched build positions while probing,

@@ -174,6 +174,35 @@ _r("strdict_prefix_range", READ,
    "[start, end] code range of the strings with a given prefix (ordered dictionaries only)")
 
 # ---------------------------------------------------------------------------
+# Catalog-resident access structures (repro.storage.access).  Unlike the
+# index_build_* / strdict_build ops above — which construct per-query
+# structures in the hoisted block — these ops *fetch* structures that live on
+# the catalog itself and are built lazily once per loaded database, so every
+# compiled query (and every direct engine) shares the same physical access
+# layer.  They are reads of catalog state, never allocations.
+# ---------------------------------------------------------------------------
+ACCESS_OPS = ("access_key_index", "access_index_lookup", "access_pruned_indices",
+              "access_strdict", "access_strdict_codes", "access_prefix_range")
+
+_r("access_key_index", READ,
+   "the catalog's load-time unique-key index of table.column; attrs: table, column; "
+   "raises at prepare time when the loaded data has no such index")
+_r("access_index_lookup", READ,
+   "row position of a key in a unique-key index (None when absent)")
+_r("access_pruned_indices", READ,
+   "candidate base-row positions of a pruned scan (ascending, memoized); "
+   "attrs: table, filters")
+_r("access_strdict", READ,
+   "the catalog's sorted string dictionary of table.column; attrs: table, column; "
+   "raises at prepare time when the loaded column has no dictionary")
+_r("access_strdict_codes", READ,
+   "the shared per-row integer code column of a catalog string dictionary; "
+   "attrs: table, column")
+_r("access_prefix_range", READ,
+   "inclusive [lo, hi] code range of the strings with a given prefix in a "
+   "catalog dictionary ((1, 0) when no string matches)")
+
+# ---------------------------------------------------------------------------
 # C.Py level: explicit memory management (the C.Scala analogue).
 # ---------------------------------------------------------------------------
 _r("malloc", ALLOC, "allocate one record-sized chunk; attrs: record fields")

@@ -34,23 +34,23 @@ def index_eligible_build(join: Q.HashJoin, catalog,
     """``(table, key_column)`` when a join's build side can be index-served.
 
     Requires: a join kind whose index execution is order-identical (inner,
-    left semi, left anti); a build side that is a bare scan — or, for inner
-    joins, one filter over a scan; a build key that is exactly the scanned
-    table's single-column primary key; and statistics confirming the key is
-    unique in the loaded data.
+    left semi, left anti, left outer); a build side that is a bare scan — or,
+    for inner joins, one filter over a scan; a build key that is exactly the
+    scanned table's single-column primary key; and statistics confirming the
+    key is unique in the loaded data.
 
     A bare-scan build side is always worth index-serving: the per-query hash
     build it replaces is a full pass over the table, the index probe costs
     nothing extra.  A *filtered* build side is different — the index path
     must re-screen the build filter per probed key, so it only wins when the
     probe side is no larger than the filtered build it saves; with an
-    ``estimator`` that cost gate is applied (semi/anti joins additionally
-    re-enumerate every build row at emission, so filtered builds stay on the
-    pruned-scan hash build there).  Also consulted by the cost-based
-    build-side swap: an index-served build side costs nothing to "build", so
-    it must never be swapped away.
+    ``estimator`` that cost gate is applied (semi/anti and outer joins
+    additionally re-enumerate every build row at emission, so filtered
+    builds stay on the pruned-scan hash build there).  Also consulted by the
+    cost-based build-side swap: an index-served build side costs nothing to
+    "build", so it must never be swapped away.
     """
-    if join.kind not in ("inner", "leftsemi", "leftanti"):
+    if join.kind not in ("inner", "leftsemi", "leftanti", "leftouter"):
         return None
     build = join.left
     filtered = False

@@ -15,6 +15,16 @@ Pruning never changes which rows flow through the plan — only which columns
 are materialized — so it is trivially order- and value-preserving.  Nodes
 that need no change are returned as the *same objects*, which keeps plan
 fingerprints stable when there is nothing to prune.
+
+Pruning is additionally **sharing-preserving**: two occurrences of a repeated
+subtree (:func:`repro.dsl.qplan.shared_subplan_fingerprints` — what both the
+direct engines and the compiled stacks execute once per query) usually need
+different column sets, and pruning each occurrence to its own needs would
+make the subtrees structurally different, silently destroying the sharing.
+A first recording pass therefore unions the needs of all occurrences of each
+shared fingerprint, and the pruning pass applies that union at every
+occurrence — the subtrees stay identical, carrying the union of their
+consumers' columns.
 """
 from __future__ import annotations
 
@@ -36,22 +46,50 @@ def prune_plan(plan: Q.Operator, catalog,
     memo: Dict[int, List[str]] = {}
     if required is None:
         required = Q.output_fields(plan, catalog, memo)
-    pruner = _Pruner(catalog, prune_projections, prune_aggregates, memo)
+    shared = Q.shared_subplan_fingerprints(plan)
+    shared_needs: Optional[Dict[str, Set[str]]] = None
+    if shared:
+        # Recording pass: the union of every occurrence's needs per shared
+        # fingerprint.  The needed-set computation distributes over unions
+        # (each operator contributes column sets independently of the rest of
+        # `needed`), so one pass records exactly what the union-pruned parent
+        # occurrences will ask of their children.
+        recorder = _Pruner(catalog, prune_projections, prune_aggregates, memo,
+                           shared_ids=shared, recording={})
+        recorder.prune(plan, set(required))
+        shared_needs = recorder.recording
+    pruner = _Pruner(catalog, prune_projections, prune_aggregates, memo,
+                     shared_ids=shared, shared_needs=shared_needs)
     return pruner.prune(plan, set(required))
 
 
 class _Pruner:
     def __init__(self, catalog, prune_projections: bool, prune_aggregates: bool,
-                 memo: Dict[int, List[str]]) -> None:
+                 memo: Dict[int, List[str]],
+                 shared_ids: Optional[Dict[int, str]] = None,
+                 recording: Optional[Dict[str, Set[str]]] = None,
+                 shared_needs: Optional[Dict[str, Set[str]]] = None) -> None:
         self.catalog = catalog
         self.prune_projections = prune_projections
         self.prune_aggregates = prune_aggregates
         self.memo = memo
+        self.shared_ids = shared_ids or {}
+        self.recording = recording
+        self.shared_needs = shared_needs
 
     def fields_of(self, node: Q.Operator) -> List[str]:
         return Q.output_fields(node, self.catalog, self.memo)
 
     def prune(self, node: Q.Operator, needed: Set[str]) -> Q.Operator:
+        key = self.shared_ids.get(id(node))
+        if key is not None:
+            if self.recording is not None:
+                self.recording[key] = self.recording.get(key, set()) | needed
+            elif self.shared_needs is not None:
+                needed = self.shared_needs.get(key, needed)
+        return self._prune(node, needed)
+
+    def _prune(self, node: Q.Operator, needed: Set[str]) -> Q.Operator:
         if isinstance(node, Q.Scan):
             return self._prune_scan(node, needed)
         if isinstance(node, Q.Select):

@@ -45,6 +45,16 @@ class OptimizationFlags:
     string_dictionaries: bool = True
     init_hoisting: bool = True
     unused_field_removal: bool = True
+    #: compiled pipelines consume the *catalog-resident* physical access layer
+    #: (repro.storage.access): PrunedScan candidate slices, IndexJoin probes of
+    #: the load-time PK indices, and the shared sorted string dictionaries —
+    #: instead of rebuilding per-query structures in the hoisted block.
+    catalog_access_layer: bool = True
+    #: repeated subplans (qplan.shared_subplan_fingerprints) are materialised
+    #: once behind a binding in the generated program and replayed for every
+    #: further occurrence — the IR-level counterpart of the direct engines'
+    #: common-subtree sharing.
+    subplan_sharing: bool = True
     constant_array_to_locals: bool = True
     flatten_nested_structs: bool = True
     control_flow_opts: bool = True

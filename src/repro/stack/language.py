@@ -109,12 +109,17 @@ _SPECIALIZED_OPS = {"index_build_multi", "index_get_multi", "index_build_unique"
                     "index_get_unique", "dense_agg_new", "dense_agg_update",
                     "dense_agg_foreach", "strdict_build", "strdict_encode_column",
                     "strdict_code", "strdict_prefix_range"}
+#: Reads of the catalog-resident physical access layer (PK key indices,
+#: partition pruning, load-time string dictionaries).  Available at every
+#: imperative level: they are database accessors like table_column, not
+#: specialised structures introduced by a lowering.
+_ACCESS_OPS = set(ir_ops.ACCESS_OPS)
 _MEMORY_OPS = {"malloc", "free", "pool_new", "pool_next", "ptr_field_get", "ptr_field_set"}
 _OUTPUT_OPS = {"emit_row", "print_"}
 
 #: The imperative core shared by every ScaLite variant (and C.Py).
 SCALITE_CORE = (_SCALAR_OPS | _CONTROL_OPS | _VAR_OPS | _RECORD_OPS | _ARRAY_OPS
-                | _DB_OPS | _OUTPUT_OPS)
+                | _DB_OPS | _ACCESS_OPS | _OUTPUT_OPS)
 
 
 # ---------------------------------------------------------------------------

@@ -404,6 +404,10 @@ class AccessLayer:
         self._candidates: Dict[Tuple, object] = {}
         #: ``(kind, table, column) -> times built`` — the build-once proof
         self.build_counts: Dict[Tuple[str, str, str], int] = {}
+        #: bumped on every invalidation; memoized compiled queries key on it
+        #: so they can never close over (or assume statistics of) structures
+        #: from before a table reload
+        self.generation: int = 0
 
     @classmethod
     def for_catalog(cls, catalog) -> "AccessLayer":
@@ -426,8 +430,11 @@ class AccessLayer:
         cached candidate lists built against the old columns would otherwise
         silently serve stale row positions.  ``build_counts`` is kept — it
         counts constructions, and a legitimate rebuild after a reload is
-        exactly what it should record.
+        exactly what it should record.  The generation counter is bumped so
+        the compiled-query cache (:mod:`repro.codegen.compiler`) also drops
+        queries compiled against the previous data.
         """
+        self.generation += 1
         for memo in (self._key_indices, self._dictionaries,
                      self._sorted_columns):
             for key in [k for k in memo if k[0] == table]:
@@ -541,14 +548,17 @@ class AccessLayer:
         """Candidate base-row positions under ``filters``, in ascending row
         order, or ``None`` when no sorted column prunes well enough.
 
-        Picks the filter column whose sorted permutation yields the smallest
-        candidate slice; the caller still evaluates the full predicate on the
-        survivors (the slice is a superset for every *other* conjunct).
+        Every filter column with a sorted permutation contributes a candidate
+        slice, and conjunctive filters **intersect** their slices: a row
+        survives only when every slice keeps it.  The smallest slice drives
+        the ``max_fraction`` gate (intersection can only shrink further); the
+        caller still evaluates the full predicate on the survivors, so the
+        result is a superset for every conjunct the slices do not cover.
         """
         num_rows = self.catalog.size(table)
         if num_rows == 0:
             return None
-        best: Optional[Tuple[int, SortedColumn, int, int]] = None
+        slices: List[Tuple[int, SortedColumn, int, int]] = []
         for column, bounds in _bounds_per_column(filters).items():
             index = self.sorted_column(table, column)
             if index is None:
@@ -557,15 +567,25 @@ class AccessLayer:
                 start, stop = index.slice_bounds(bounds)
             except TypeError:
                 continue  # filter literal not comparable to the column values
-            size = stop - start
-            if best is None or size < best[0]:
-                best = (size, index, start, stop)
-        if best is None or best[0] > max_fraction * num_rows:
+            slices.append((stop - start, index, start, stop))
+        if not slices:
             return None
-        _, index, start, stop = best
-        if index.identity:
-            return range(start, stop)
-        return sorted(index.permutation[start:stop])
+        slices.sort(key=lambda entry: entry[0])
+        best_size, index, start, stop = slices[0]
+        if best_size > max_fraction * num_rows:
+            return None
+        if len(slices) == 1:
+            if index.identity:
+                return range(start, stop)
+            return sorted(index.permutation[start:stop])
+        surviving = set(index.permutation[start:stop])
+        for other_size, other, other_start, other_stop in slices[1:]:
+            if other_size >= num_rows:
+                continue  # an all-rows slice cannot shrink the intersection
+            surviving.intersection_update(other.permutation[other_start:other_stop])
+            if not surviving:
+                break
+        return sorted(surviving)
 
     def chunk_ranges(self, table: str,
                      filters: Sequence[ZoneFilter]) -> List[Tuple[int, int]]:
@@ -617,15 +637,38 @@ class AccessLayer:
         return cached
 
     def _compute_pruned_indices(self, table: str, filters: Sequence[ZoneFilter]):
+        num_rows = self.catalog.size(table)
+        ranges = self.chunk_ranges(table, filters)
+        unpruned = len(ranges) == 1 and ranges[0] == (0, num_rows)
         candidates = self.prune_candidates(table, filters)
         if candidates is not None:
-            return candidates
-        ranges = self.chunk_ranges(table, filters)
-        num_rows = self.catalog.size(table)
-        if len(ranges) == 1 and ranges[0] == (0, num_rows):
+            if unpruned:
+                return candidates
+            # Zone maps of columns *without* a sorted permutation can still
+            # reject whole chunks the sorted slices kept: intersect.
+            return _restrict_to_ranges(candidates, ranges)
+        if unpruned:
             return range(num_rows)
         return list(chain.from_iterable(range(start, stop)
                                         for start, stop in ranges))
+
+
+def _restrict_to_ranges(candidates, ranges: Sequence[Tuple[int, int]]):
+    """Keep the (ascending) candidates that fall inside the sorted,
+    non-overlapping row ranges — one merge walk over both sequences."""
+    kept: List[int] = []
+    append = kept.append
+    iterator = iter(ranges)
+    start, stop = next(iterator, (0, 0))
+    for position in candidates:
+        while position >= stop:
+            entry = next(iterator, None)
+            if entry is None:
+                return kept
+            start, stop = entry
+        if position >= start:
+            append(position)
+    return kept
 
 
 # ---------------------------------------------------------------------------

@@ -42,6 +42,7 @@ from ..stack.language import Language, QPLAN
 from ..stack.transformation import Lowering
 from .rowvals import RowVals
 from .scalar_compiler import ScalarCompiler
+from .subplan_sharing import SharedSubplanMaterializer
 
 Consumer = Callable[[RowVals], None]
 
@@ -79,6 +80,12 @@ class _PushCompiler:
         self.scalars = ScalarCompiler(self.body)
         #: record layout used for materialised intermediate rows
         self.record_layout = "row" if self.flags.data_layout else "boxed"
+        #: whether pipelines consume the catalog-resident access layer
+        self.catalog_access = bool(self.flags.catalog_access_layer
+                                   and getattr(self.catalog, "statistics", None)
+                                   is not None)
+        #: shared-subplan bindings (armed per plan in :meth:`compile`)
+        self.sharing: Optional[SharedSubplanMaterializer] = None
 
     # ------------------------------------------------------------------
     # Builder management
@@ -99,6 +106,7 @@ class _PushCompiler:
     # Entry point
     # ------------------------------------------------------------------
     def compile(self, plan: Q.Operator) -> Program:
+        self.sharing = SharedSubplanMaterializer(plan, self.flags)
         result_fields = Q.output_fields(plan, self.catalog)
         result = self.b.emit("list_new", [], hint="result")
 
@@ -116,12 +124,23 @@ class _PushCompiler:
     # Produce/consume dispatch
     # ------------------------------------------------------------------
     def produce(self, node: Q.Operator, consume: Consumer) -> None:
+        if self.sharing is not None and self.sharing.try_produce(self, node, consume):
+            return
+        self.dispatch_produce(node, consume)
+
+    def dispatch_produce(self, node: Q.Operator, consume: Consumer) -> None:
+        """Emit a node's pipeline without consulting the shared-subplan cache
+        (the materializer itself routes through here to avoid recursing)."""
         if isinstance(node, Q.Scan):
             self._scan(node, consume)
+        elif isinstance(node, Q.PrunedScan):
+            self._pruned_scan(node, consume)
         elif isinstance(node, Q.Select):
             self._select(node, consume)
         elif isinstance(node, Q.Project):
             self._project(node, consume)
+        elif isinstance(node, Q.IndexJoin):
+            self._index_join(node, consume)
         elif isinstance(node, Q.HashJoin):
             self._hash_join(node, consume)
         elif isinstance(node, Q.NestedLoopJoin):
@@ -171,6 +190,192 @@ class _PushCompiler:
             self.b.if_(cond, lambda: consume(row))
 
         self.produce(node.child, filtered)
+
+    # ------------------------------------------------------------------
+    # Catalog-access-layer scans and joins
+    # ------------------------------------------------------------------
+    def _scan_columns(self, scan: Q.Scan) -> Tuple[List[str], Dict[str, Sym]]:
+        """Column arrays of a base-table scan, bound in the current block."""
+        b = self.b
+        fields = list(scan.fields) if scan.fields is not None else \
+            self.catalog.schema.table(scan.table).column_names()
+        columns = {name: b.emit("table_column", [self.db],
+                                attrs={"table": scan.table, "column": name},
+                                hint="col")
+                   for name in fields}
+        return fields, columns
+
+    def _fetch_row(self, columns: Dict[str, Sym], fields: Sequence[str],
+                   index: Atom) -> RowVals:
+        """The row at ``index``, in the active row representation."""
+        b = self.b
+        if self.flags.scalar_replacement:
+            return RowVals.scalars({name: b.emit("array_get",
+                                                 [columns[name], index],
+                                                 hint=name[:10])
+                                    for name in fields})
+        values = [b.emit("array_get", [columns[name], index]) for name in fields]
+        record = b.emit("record_new", values,
+                        attrs={"fields": tuple(fields), "layout": "boxed"},
+                        hint="rec")
+        return RowVals.record_backed(b, record, fields, layout="boxed")
+
+    def _pruned_scan(self, node: Q.PrunedScan, consume: Consumer) -> None:
+        """``Select(Scan)`` served by the catalog's partition pruning.
+
+        The candidate row positions — a sorted-column slice or the
+        zone-map-surviving chunks, memoized on the catalog's access layer —
+        are fetched once at data-loading time (the hoisted block); the query
+        body loops over candidates only and still evaluates the full
+        predicate on each, so rows and emission order are exactly those of
+        the unpruned scan-then-filter.
+        """
+        if not (self.catalog_access and node.zone_filters):
+            self._select(node, consume)
+            return
+        b = self.b
+        scan = node.child
+        self._use_builder(self.hoisted)
+        try:
+            candidates = self.b.emit(
+                "access_pruned_indices", [self.db],
+                attrs={"table": scan.table, "filters": tuple(node.zone_filters)},
+                hint="cand")
+        finally:
+            self._pop_builder()
+        fields, columns = self._scan_columns(scan)
+
+        def body(index: Sym) -> None:
+            row = self._fetch_row(columns, fields, index)
+            cond = self.scalars.compile(node.predicate, row)
+            self.b.if_(cond, lambda: consume(row))
+
+        b.foreach(candidates, body, hint="ri")
+
+    def _index_join(self, node: Q.IndexJoin, consume: Consumer) -> None:
+        """Hash join served by the catalog's load-time unique-key index.
+
+        No per-query build: the index (a PK direct array or dict) is fetched
+        from the access layer at data-loading time and each probe key is
+        looked up directly; the (at most one) matching build row is read from
+        the base columns on demand, with the build filter and residual
+        applied per candidate.  Unique keys make every bucket of the replaced
+        hash join at most one row, so each emission order below reproduces
+        the plain lowering's order exactly: probe-major for inner joins, base
+        (= bucket) order for the semi/anti emission pass.
+
+        ``leftouter`` falls back: the plain lowering hashes the *right* side
+        for outer joins, which the left-table index cannot serve.
+        """
+        parts = node.build_parts()
+        usable = (self.catalog_access
+                  and parts is not None
+                  and node.kind in ("inner", "leftsemi", "leftanti"))
+        if usable:
+            from ..storage.access import AccessLayer
+            usable = AccessLayer.for_catalog(self.catalog).key_index(
+                node.index_table, node.index_column) is not None
+        if not usable:
+            self._hash_join(node, consume)
+            return
+        scan, build_filter = parts
+        b = self.b
+        self._use_builder(self.hoisted)
+        try:
+            index = self.b.emit(
+                "access_key_index", [self.db],
+                attrs={"table": node.index_table, "column": node.index_column},
+                hint="kidx")
+        finally:
+            self._pop_builder()
+        fields, columns = self._scan_columns(scan)
+
+        def lookup(right_row: RowVals) -> Tuple[Sym, Sym]:
+            key = self.scalars.compile(node.right_key, right_row)
+            position = self.b.emit("access_index_lookup", [index, key],
+                                   hint="pos")
+            hit = self.b.emit("ne", [position, Const(None)], hint="hit")
+            return position, hit
+
+        if node.kind == "inner":
+            def probe(right_row: RowVals) -> None:
+                position, hit = lookup(right_row)
+
+                def on_hit() -> None:
+                    left_row = self._fetch_row(columns, fields, position)
+
+                    def emit_match() -> None:
+                        combined = left_row.merge(right_row, self.b)
+                        if node.residual is not None:
+                            cond = self.scalars.compile(node.residual, combined,
+                                                        left=left_row,
+                                                        right=right_row)
+                            self.b.if_(cond, lambda: consume(combined))
+                        else:
+                            consume(combined)
+
+                    if build_filter is not None:
+                        cond = self.scalars.compile(build_filter, left_row)
+                        self.b.if_(cond, emit_match)
+                    else:
+                        emit_match()
+
+                self.b.if_(hit, on_hit)
+
+            self.produce(node.right, probe)
+            return
+
+        # leftsemi / leftanti: probe pass marks matched build positions, then
+        # the emission pass walks the base table in row (= bucket) order.
+        matched = b.emit("set_new", [], hint="matched")
+
+        def probe(right_row: RowVals) -> None:
+            position, hit = lookup(right_row)
+
+            def on_hit() -> None:
+                conds = []
+                if build_filter is not None or node.residual is not None:
+                    left_row = self._fetch_row(columns, fields, position)
+                    if build_filter is not None:
+                        conds.append(self.scalars.compile(build_filter, left_row))
+                    if node.residual is not None:
+                        combined = left_row.merge(right_row, self.b)
+                        conds.append(self.scalars.compile(
+                            node.residual, combined,
+                            left=left_row, right=right_row))
+
+                def mark() -> None:
+                    self.b.emit("set_add", [matched, position])
+
+                if conds:
+                    cond = conds[0]
+                    for extra in conds[1:]:
+                        cond = self.b.emit("and_", [cond, extra])
+                    self.b.if_(cond, mark)
+                else:
+                    mark()
+
+            self.b.if_(hit, on_hit)
+
+        self.produce(node.right, probe)
+
+        size = b.emit("table_size", [self.db], attrs={"table": scan.table},
+                      hint="n")
+        want_match = node.kind == "leftsemi"
+
+        def emit_pass(position: Sym) -> None:
+            left_row = self._fetch_row(columns, fields, position)
+            member = self.b.emit("set_contains", [matched, position],
+                                 hint="inset")
+            cond = member if want_match else self.b.emit("not_", [member])
+            if build_filter is not None:
+                # rows the build filter rejects never entered the replaced
+                # hash table, so they are emitted by neither join kind
+                passes = self.scalars.compile(build_filter, left_row)
+                cond = self.b.emit("and_", [passes, cond])
+            self.b.if_(cond, lambda: consume(left_row))
+
+        b.for_range(0, size, emit_pass, hint="bi")
 
     def _project(self, node: Q.Project, consume: Consumer) -> None:
         def projected(row: RowVals) -> None:

@@ -19,6 +19,16 @@ IN (v1, .. vn)  n string comparisons          n integer comparisons
 with a given prefix form a contiguous code range.  Dictionary building and
 column encoding are charged to data loading (the hoisted block), which is why
 this optimization is not TPC-H compliant.
+
+With the ``catalog_access_layer`` flag the hoisted section does not build and
+encode anything per query: it fetches the **catalog-resident** sorted
+dictionary and its shared per-row code column from the physical access layer
+(:meth:`repro.storage.access.AccessLayer.dictionary`) — the same structures
+the vectorized engine's predicate rewrite uses — so a whole workload of
+compiled queries encodes each column exactly once per loaded database.
+Catalog dictionaries are always sorted, hence always order-preserving; the
+per-query path remains the fallback for columns the access layer declines
+(near-unique or non-string data).
 """
 from __future__ import annotations
 
@@ -57,22 +67,35 @@ class StringDictionaries(Optimization):
             column for column, stmt in candidates if stmt.expr.op == "str_startswith"}
         columns = {column for column, _ in candidates}
 
-        # Build dictionaries and encoded columns in the hoisted block.
+        # Build (or, with the catalog access layer, fetch) dictionaries and
+        # encoded columns in the hoisted block.
+        catalog_backed = self._catalog_backed_columns(columns, context)
         hoisted_stmts = list(program.hoisted.stmts)
         dictionaries: Dict[Tuple[str, str], Tuple[Sym, Sym]] = {}
         db = program.params[0]
         for table, column in sorted(columns):
-            raw = Sym("sdcol", type=INT)
-            hoisted_stmts.append(Stmt(raw, Expr("table_column", (db,),
-                                                {"table": table, "column": column})))
             dictionary = Sym("sdict")
-            hoisted_stmts.append(Stmt(dictionary, Expr(
-                "strdict_build", (raw,),
-                {"table": table, "column": column,
-                 "ordered": (table, column) in ordered_columns})))
             encoded = Sym("enccol")
-            hoisted_stmts.append(Stmt(encoded, Expr("strdict_encode_column",
-                                                    (dictionary, raw), {})))
+            if (table, column) in catalog_backed:
+                # The catalog's sorted dictionary and its shared code column:
+                # nothing is re-encoded per query, and every compiled query
+                # (and the vectorized engine) reads the same structures.
+                hoisted_stmts.append(Stmt(dictionary, Expr(
+                    "access_strdict", (db,),
+                    {"table": table, "column": column})))
+                hoisted_stmts.append(Stmt(encoded, Expr(
+                    "access_strdict_codes", (db,),
+                    {"table": table, "column": column})))
+            else:
+                raw = Sym("sdcol", type=INT)
+                hoisted_stmts.append(Stmt(raw, Expr("table_column", (db,),
+                                                    {"table": table, "column": column})))
+                hoisted_stmts.append(Stmt(dictionary, Expr(
+                    "strdict_build", (raw,),
+                    {"table": table, "column": column,
+                     "ordered": (table, column) in ordered_columns})))
+                hoisted_stmts.append(Stmt(encoded, Expr("strdict_encode_column",
+                                                        (dictionary, raw), {})))
             dictionaries[(table, column)] = (dictionary, encoded)
 
         # Pre-compute constant codes / prefix ranges in the hoisted block.
@@ -85,7 +108,12 @@ class StringDictionaries(Optimization):
                     continue
                 if kind == "prefix":
                     rng = Sym("sdrange")
-                    hoisted_stmts.append(Stmt(rng, Expr("strdict_prefix_range",
+                    # both range ops share the inclusive [lo, hi] contract of
+                    # the ge/le comparisons emitted below
+                    range_op = ("access_prefix_range"
+                                if (table, column) in catalog_backed
+                                else "strdict_prefix_range")
+                    hoisted_stmts.append(Stmt(rng, Expr(range_op,
                                                         (dictionary, Const(text)), {})))
                     lo = Sym("sdlo", type=INT)
                     hoisted_stmts.append(Stmt(lo, Expr("tuple_get", (rng,), {"index": 0})))
@@ -138,6 +166,30 @@ class StringDictionaries(Optimization):
                                   program.hoisted.params)
         context.info.setdefault("string_dictionary_columns", set()).update(columns)
         return rewritten
+
+    # ------------------------------------------------------------------
+    # Catalog-backed dictionaries
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _catalog_backed_columns(columns: Set[Tuple[str, str]],
+                                context: CompilationContext
+                                ) -> Set[Tuple[str, str]]:
+        """The columns whose dictionary the catalog's access layer serves.
+
+        Consulted at compile time against the compilation catalog: the access
+        layer builds lazily and memoizes on the catalog, so asking here *is*
+        the load-time construction — every later query (compiled or direct)
+        reuses the same object.  Columns the layer declines (near-unique,
+        non-string values) keep the per-query hoisted build.
+        """
+        if not getattr(context.flags, "catalog_access_layer", False):
+            return set()
+        catalog = context.catalog
+        if catalog is None or not hasattr(catalog, "access_layer"):
+            return set()
+        layer = catalog.access_layer()
+        return {(table, column) for table, column in columns
+                if layer.dictionary(table, column) is not None}
 
     # ------------------------------------------------------------------
     # Candidate discovery

@@ -123,3 +123,70 @@ class TestCompiledQueryCache:
         QueryCompiler.clear_cache()
         assert QueryCompiler.cache_len() == 0
         assert QueryCompiler.cache_stats.misses == 0
+
+
+class TestAccessLayerGeneration:
+    """Re-registering a table must invalidate memoized compiled queries.
+
+    Regression: the cache used to serve a query compiled against the old
+    data, whose prepared state (and statistics-derived constants: dense key
+    ranges, dictionary availability) closed over stale index objects.
+    """
+
+    def _index_plan(self):
+        return Q.Agg(
+            Q.HashJoin(Q.Scan("R"), Q.Scan("S"), col("r_id"), col("s_rid")),
+            [], [Q.AggSpec("count", None, "n")])
+
+    def test_reregister_then_requery_recompiles(self, tiny_catalog):
+        from repro.storage.layouts import ColumnarTable
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        plan = self._index_plan()
+        first = compiler.compile(plan, tiny_catalog, "gen")
+        assert first.run(tiny_catalog) == [{"n": 0}]  # r_id 1..5, s_rid 10..50
+
+        # reload S so that its rids now hit R's primary keys
+        table = tiny_catalog.table("S")
+        tiny_catalog.register(ColumnarTable(table.schema, {
+            "s_id": [100, 101, 102],
+            "s_rid": [1, 3, 3],
+            "s_val": [1.0, 2.0, 3.0],
+        }))
+        second = compiler.compile(plan, tiny_catalog, "gen")
+        assert not second.cache_hit
+        assert second.run(tiny_catalog) == [{"n": 3}]
+
+        # and the same catalog without further reloads hits the cache again
+        third = compiler.compile(plan, tiny_catalog, "gen")
+        assert third.cache_hit
+
+    def test_prepared_state_is_invalidated_without_recompiling(self, tiny_catalog):
+        """run() on an already-prepared CompiledQuery must not serve aux
+        structures built against pre-reload data: the prepared state is
+        stamped with the access-layer generation and re-prepared on
+        mismatch."""
+        from repro.storage.layouts import ColumnarTable
+        config = build_config("dblab-5")
+        compiler = QueryCompiler(config.stack, config.flags)
+        compiled = compiler.compile(self._index_plan(), tiny_catalog, "gen2")
+        assert compiled.run(tiny_catalog) == [{"n": 0}]  # prepares + caches aux
+
+        table = tiny_catalog.table("S")
+        tiny_catalog.register(ColumnarTable(table.schema, {
+            "s_id": [100, 101, 102],
+            "s_rid": [1, 3, 3],
+            "s_val": [1.0, 2.0, 3.0],
+        }))
+        # same CompiledQuery object, no recompile: stale aux is detected
+        assert compiled.run(tiny_catalog) == [{"n": 3}]
+
+    def test_generation_counter_tracks_invalidations(self, tiny_catalog):
+        from repro.storage.layouts import ColumnarTable
+        layer = tiny_catalog.access_layer()
+        assert layer.generation == 0
+        table = tiny_catalog.table("R")
+        tiny_catalog.register(ColumnarTable(table.schema, dict(table.columns)))
+        assert layer.generation == 1
+        tiny_catalog.register(ColumnarTable(table.schema, dict(table.columns)))
+        assert layer.generation == 2

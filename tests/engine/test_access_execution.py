@@ -186,3 +186,77 @@ class TestDictionaryEncodedSelects:
         engine.execute(plan)
         assert layer.build_counts[
             ("dictionary", "customer", "c_mktsegment")] == count == 1
+
+
+class TestLeftOuterIndexJoin:
+    """Leftouter joins are index-served with null-padded probe misses.
+
+    Regression for the silent fallback: all three direct engines used to
+    drop to a full hash build for ``kind="leftouter"`` even when the build
+    side was an indexed PK scan.
+    """
+
+    def _pair(self, residual=None):
+        hash_plan = Q.HashJoin(Q.Scan("customer"), Q.Scan("orders"),
+                               col("c_custkey"), col("o_custkey"),
+                               kind="leftouter", residual=residual)
+        index_plan = Q.IndexJoin(Q.Scan("customer"), Q.Scan("orders"),
+                                 col("c_custkey"), col("o_custkey"),
+                                 kind="leftouter", residual=residual,
+                                 index_table="customer",
+                                 index_column="c_custkey")
+        return hash_plan, index_plan
+
+    def test_rows_match_the_hash_join_exactly(self, tpch_catalog):
+        hash_plan, index_plan = self._pair()
+        for engine in (VolcanoEngine(tpch_catalog),
+                       VectorizedEngine(tpch_catalog),
+                       VectorizedEngine(tpch_catalog, batch_size=17)):
+            assert engine.execute(index_plan) == engine.execute(hash_plan)
+        expander = TemplateExpander(tpch_catalog)
+        assert expander.compile(index_plan).run(tpch_catalog) == \
+            expander.compile(hash_plan).run(tpch_catalog)
+
+    def test_unmatched_rows_are_padded_with_none_in_every_probe_field(
+            self, tpch_catalog):
+        _, index_plan = self._pair()
+        probe_fields = Q.output_fields(Q.Scan("orders"), tpch_catalog)
+        build_fields = Q.output_fields(Q.Scan("customer"), tpch_catalog)
+        for rows in (
+            VolcanoEngine(tpch_catalog).execute(index_plan),
+            VectorizedEngine(tpch_catalog).execute(index_plan),
+            TemplateExpander(tpch_catalog).compile(index_plan).run(tpch_catalog),
+        ):
+            padded = [row for row in rows if row["o_orderkey"] is None]
+            assert padded, "the 0.001-sf catalog has customers without orders"
+            for row in padded:
+                # every probe-side field of the padded row is None, every
+                # preserved (build-side) field is a real customer value
+                assert all(row[name] is None for name in probe_fields)
+                assert all(row[name] is not None for name in build_fields)
+        customers = tpch_catalog.size("customer")
+        with_orders = len({row["o_custkey"]
+                           for row in VolcanoEngine(tpch_catalog).execute(
+                               Q.Scan("orders"))})
+        assert len(padded) == customers - with_orders
+
+    def test_residual_failures_are_padded_too(self, tpch_catalog):
+        residual = col("o_totalprice") > 1e12  # no order ever matches
+        hash_plan, index_plan = self._pair(residual=residual)
+        engine = VolcanoEngine(tpch_catalog)
+        rows = engine.execute(index_plan)
+        assert rows == engine.execute(hash_plan)
+        assert len(rows) == tpch_catalog.size("customer")
+        assert all(row["o_orderkey"] is None for row in rows)
+
+    def test_planner_selects_the_leftouter_index_join(self, tpch_catalog):
+        plan = Q.Agg(
+            Q.HashJoin(Q.Scan("customer"), Q.Scan("orders"),
+                       col("c_custkey"), col("o_custkey"), kind="leftouter"),
+            [], [Q.AggSpec("count", None, "n")])
+        optimized = Planner(tpch_catalog).optimize(plan)
+        joins = [node for node in Q.walk(optimized)
+                 if isinstance(node, Q.IndexJoin)]
+        assert joins and joins[0].kind == "leftouter"
+        assert VolcanoEngine(tpch_catalog).execute(optimized) == \
+            VolcanoEngine(tpch_catalog).execute(plan)

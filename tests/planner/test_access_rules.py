@@ -60,11 +60,23 @@ class TestIndexJoinSelection:
                           col("l_orderkey"), col("o_orderkey"))
         assert rule.apply(join, _context(tpch_catalog)) is None
 
-    def test_left_outer_join_is_left_alone(self, tpch_catalog):
+    def test_left_outer_join_is_index_served(self, tpch_catalog):
         rule = IndexJoinSelection()
         join = Q.HashJoin(Q.Scan("customer"), Q.Scan("orders"),
                           col("c_custkey"), col("o_custkey"), kind="leftouter")
-        assert rule.apply(join, _context(tpch_catalog)) is None
+        rewritten = rule.apply(join, _context(tpch_catalog))
+        assert isinstance(rewritten, Q.IndexJoin)
+        assert rewritten.kind == "leftouter"
+        assert (rewritten.index_table, rewritten.index_column) == \
+            ("customer", "c_custkey")
+
+    def test_left_outer_join_requires_a_bare_scan_build(self, tpch_catalog):
+        rule = IndexJoinSelection()
+        filtered = Q.HashJoin(
+            Q.Select(Q.Scan("customer"), col("c_custkey") > 0),
+            Q.Scan("orders"), col("c_custkey"), col("o_custkey"),
+            kind="leftouter")
+        assert rule.apply(filtered, _context(tpch_catalog)) is None
 
     def test_semi_join_requires_a_bare_scan_build(self, tpch_catalog):
         rule = IndexJoinSelection()

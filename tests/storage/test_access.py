@@ -330,3 +330,84 @@ def test_date_literals_prune_like_integers():
         ["t_date"])
     candidates = catalog.access_layer().prune_candidates("T", filters)
     assert set(candidates) == {0, 3}
+
+
+class TestMultiColumnIntersection:
+    """Conjunctive filters on several zoned/sorted columns intersect their
+    surviving row sets — regression for the single-best-column pruning that
+    ignored every other conjunct."""
+
+    def _two_column_catalog(self):
+        catalog = Catalog()
+        schema = TableSchema("M", [int_column("m_id"), int_column("m_a"),
+                                   int_column("m_b")], primary_key=("m_id",))
+        n = 4000
+        catalog.register(ColumnarTable(schema, {
+            "m_id": list(range(n)),
+            # two interleaved sawtooth columns: each range filter alone keeps
+            # a big scattered slice, their conjunction keeps a small one
+            "m_a": [i % 100 for i in range(n)],
+            "m_b": [(i * 7) % 100 for i in range(n)],
+        }))
+        return catalog
+
+    def test_conjunction_keeps_fewer_candidates_than_either_filter(self):
+        layer = self._two_column_catalog().access_layer()
+        only_a = [("m_a", "<", 30)]
+        only_b = [("m_b", "<", 30)]
+        both = only_a + only_b
+        a_rows = set(layer.prune_candidates("M", only_a))
+        b_rows = set(layer.prune_candidates("M", only_b))
+        both_rows = layer.prune_candidates("M", both)
+        assert set(both_rows) == a_rows & b_rows
+        assert len(both_rows) < len(a_rows) and len(both_rows) < len(b_rows)
+        assert list(both_rows) == sorted(both_rows)
+
+    def test_pruned_indices_intersects_too(self):
+        layer = self._two_column_catalog().access_layer()
+        both = (("m_a", "<", 30), ("m_b", "<", 30))
+        survivors = list(layer.pruned_indices("M", both))
+        # every candidate satisfies both bounds and nothing satisfying both
+        # was dropped (superset check against a full scan)
+        catalog = self._two_column_catalog()
+        a, b = catalog.column("M", "m_a"), catalog.column("M", "m_b")
+        expected = [i for i in range(len(a)) if a[i] < 30 and b[i] < 30]
+        assert [i for i in survivors if a[i] < 30 and b[i] < 30] == expected
+        assert set(expected) <= set(survivors)
+
+    def test_sorted_slice_intersects_with_other_columns_zone_maps(self):
+        """A sorted column's candidate slice is further cut by the zone maps
+        of a second, unsorted-but-zoned filter column."""
+        catalog = Catalog()
+        schema = TableSchema("Z", [int_column("z_sorted"), int_column("z_zoned")],
+                             primary_key=("z_sorted",))
+        n = 8192
+        catalog.register(ColumnarTable(schema, {
+            "z_sorted": list(range(n)),          # stored sorted: identity index
+            "z_zoned": [i // 2048 for i in range(n)],  # constant per chunk
+        }))
+        layer = catalog.access_layer()
+        filters = (("z_sorted", "<", 3000), ("z_zoned", "==", 0))
+        survivors = list(layer.pruned_indices("Z", filters))
+        # the sorted slice alone keeps [0, 3000); chunk 2 (z_zoned == 1)
+        # is rejected by the second column's zone map
+        assert survivors == list(range(2048))
+
+    def test_chunk_ranges_intersect_across_columns(self):
+        catalog = Catalog()
+        schema = TableSchema("C", [int_column("c_up"), int_column("c_down")],
+                             primary_key=("c_up",))
+        n = 8192
+        catalog.register(ColumnarTable(schema, {
+            "c_up": list(range(n)),
+            "c_down": list(range(n, 0, -1)),
+        }))
+        layer = catalog.access_layer()
+        up = [("c_up", ">=", 2048)]           # chunks 1..3
+        down = [("c_down", ">", n - 4096)]    # rows 0..4095: chunks 0..1
+        up_chunks = layer.chunk_ranges("C", up)
+        down_chunks = layer.chunk_ranges("C", down)
+        both = layer.chunk_ranges("C", up + down)
+        assert both == [(2048, 4096)]
+        assert both[0][1] - both[0][0] < sum(b - a for a, b in up_chunks)
+        assert both[0][1] - both[0][0] < sum(b - a for a, b in down_chunks)

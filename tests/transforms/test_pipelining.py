@@ -200,3 +200,75 @@ class TestLoweredSemantics:
         first = compiled.run(tiny_catalog, aux)
         second = compiled.run(tiny_catalog, aux)
         assert first == second == execute(plan, tiny_catalog)
+
+
+class TestCatalogAccessLowering:
+    """PrunedScan and IndexJoin lower onto the catalog's access layer."""
+
+    def _pruned_plan(self):
+        from repro.dsl.expr import date
+        predicate = (col("l_shipdate") >= date("1994-01-01")) & \
+            (col("l_shipdate") < date("1995-01-01"))
+        return Q.PrunedScan(
+            Q.Scan("lineitem", fields=("l_shipdate", "l_quantity")), predicate,
+            (("l_shipdate", ">=", 19940101), ("l_shipdate", "<", 19950101)))
+
+    def _index_plan(self, kind="inner"):
+        return Q.IndexJoin(
+            Q.Scan("orders", fields=("o_orderkey", "o_totalprice")),
+            Q.Scan("lineitem", fields=("l_orderkey", "l_quantity")),
+            col("o_orderkey"), col("l_orderkey"), kind=kind,
+            index_table="orders", index_column="o_orderkey")
+
+    def test_pruned_scan_loops_over_candidates(self, tpch_catalog):
+        program, _ = lower(self._pruned_plan(), tpch_catalog,
+                           build_config("dblab-5").flags)
+        hoisted_ops = {s.expr.op for s in program.hoisted.stmts}
+        assert "access_pruned_indices" in hoisted_ops
+        counts = count_ops(program)
+        assert counts["list_foreach"] >= 1
+        assert "for_range" not in counts  # no full-table loop remains
+
+    def test_pruned_scan_falls_back_without_the_flag(self, tpch_catalog):
+        flags = build_config("dblab-5").flags.copy_with(catalog_access_layer=False)
+        program, _ = lower(self._pruned_plan(), tpch_catalog, flags)
+        assert "access_pruned_indices" not in ops_used(program)
+        assert count_ops(program)["for_range"] >= 1
+
+    def test_inner_index_join_probes_without_a_build(self, tpch_catalog):
+        program, _ = lower(self._index_plan(), tpch_catalog,
+                           build_config("dblab-5").flags)
+        hoisted_ops = {s.expr.op for s in program.hoisted.stmts}
+        assert "access_key_index" in hoisted_ops
+        used = ops_used(program)
+        assert "access_index_lookup" in used
+        assert "mmap_new" not in used and "mmap_add" not in used
+
+    def test_semi_index_join_marks_matches_in_a_set(self, tpch_catalog):
+        program, _ = lower(self._index_plan("leftsemi"), tpch_catalog,
+                           build_config("dblab-5").flags)
+        used = ops_used(program)
+        assert {"access_index_lookup", "set_new", "set_add",
+                "set_contains"} <= used
+        assert "mmap_new" not in used
+
+    def test_leftouter_falls_back_to_the_hash_lowering(self, tpch_catalog):
+        program, _ = lower(self._index_plan("leftouter"), tpch_catalog,
+                           build_config("dblab-5").flags)
+        used = ops_used(program)
+        assert "access_index_lookup" not in used
+        assert "mmap_new" in used or "array_new" in used
+
+    @pytest.mark.parametrize("kind", ["inner", "leftsemi", "leftanti"])
+    def test_index_join_rows_match_volcano(self, tpch_catalog, kind):
+        plan = Q.Agg(self._index_plan(kind), [],
+                     [Q.AggSpec("count", None, "n")])
+        compiled = compile_and_run(plan, tpch_catalog)
+        assert compiled.run(tpch_catalog) == execute(plan, tpch_catalog)
+
+    def test_pruned_scan_rows_match_volcano(self, tpch_catalog):
+        plan = Q.Agg(self._pruned_plan(), [],
+                     [Q.AggSpec("sum", col("l_quantity"), "total"),
+                      Q.AggSpec("count", None, "n")])
+        compiled = compile_and_run(plan, tpch_catalog)
+        assert canon(compiled.run(tpch_catalog)) == canon(execute(plan, tpch_catalog))

@@ -60,8 +60,9 @@ class TestUnusedFieldRemoval:
 
 
 class TestStringDictionaries:
-    def _lowered(self, tiny_catalog, plan):
-        flags = build_config("dblab-4").flags
+    def _lowered(self, tiny_catalog, plan, catalog_access=False):
+        flags = build_config("dblab-4").flags.copy_with(
+            catalog_access_layer=catalog_access)
         context = CompilationContext(catalog=tiny_catalog, flags=flags)
         program = PushPipelineLowering(SCALITE_MAP_LIST).run(plan, context)
         return StringDictionaries().run(program, context), context
@@ -73,12 +74,33 @@ class TestStringDictionaries:
         assert {"strdict_build", "strdict_encode_column", "strdict_code"} <= hoisted_ops
         assert ("R", "r_name") in context.info["string_dictionary_columns"]
 
+    def test_catalog_access_layer_serves_the_dictionary(self, tiny_catalog):
+        """With the access layer on, nothing is built or encoded per query:
+        the hoisted block fetches the catalog-resident dictionary and its
+        shared code column."""
+        plan = Q.Select(Q.Scan("R"), col("r_name") == "R1")
+        program, context = self._lowered(tiny_catalog, plan, catalog_access=True)
+        hoisted_ops = {s.expr.op for s in program.hoisted.stmts}
+        assert {"access_strdict", "access_strdict_codes", "strdict_code"} <= hoisted_ops
+        assert "strdict_build" not in hoisted_ops
+        assert "strdict_encode_column" not in hoisted_ops
+        assert ("R", "r_name") in context.info["string_dictionary_columns"]
+
     def test_prefix_predicate_uses_ordered_dictionary_range(self, tiny_catalog):
         plan = Q.Select(Q.Scan("R"), like(col("r_name"), "R%"))
         program, _ = self._lowered(tiny_catalog, plan)
         hoisted = [s for s in program.hoisted.stmts if s.expr.op == "strdict_build"]
         assert hoisted and hoisted[0].expr.attrs["ordered"] is True
         assert any(s.expr.op == "strdict_prefix_range" for s in program.hoisted.stmts)
+
+    def test_prefix_predicate_on_the_catalog_dictionary(self, tiny_catalog):
+        """Catalog dictionaries are always sorted, so prefix predicates use
+        the access-layer range op (inclusive [lo, hi] contract)."""
+        plan = Q.Select(Q.Scan("R"), like(col("r_name"), "R%"))
+        program, _ = self._lowered(tiny_catalog, plan, catalog_access=True)
+        hoisted_ops = {s.expr.op for s in program.hoisted.stmts}
+        assert "access_prefix_range" in hoisted_ops
+        assert "strdict_prefix_range" not in hoisted_ops
 
     def test_in_list_predicate_rewritten(self, tiny_catalog):
         plan = Q.Select(Q.Scan("R"), in_list(col("r_name"), ["R1", "R3"]))
@@ -97,7 +119,8 @@ class TestStringDictionaries:
         config = build_config("dblab-4")
         compiled = QueryCompiler(config.stack, config.flags).compile(plan, tiny_catalog, "sd")
         assert compiled.run(tiny_catalog) == execute(plan, tiny_catalog)
-        assert "strdict_build" in compiled.source or ".build(" in compiled.source
+        assert ".build(" in compiled.source or \
+            "_rt.catalog_dictionary(" in compiled.source
 
     def test_absent_constant_still_correct(self, tiny_catalog):
         """Comparing against a string that never occurs yields an always-false code."""
