@@ -1,0 +1,91 @@
+"""Governor overhead on the no-fault path: the acceptance criterion of the
+execution-hardening layer.
+
+The compiled stacks emit cooperative checkpoint hooks (``_rt.governed_range``
+/ ``_rt.governed_iter``) at the head of every top-level pipeline loop.  With
+no governor installed they return native ``range``/iterables, so the hot loop
+body runs exactly as before — the claim checked here is that this fast path
+costs at most 5% wall clock on the Table 3 scan queries Q1 and Q6, measured
+against the *same* generated code with the hooks textually stripped.
+
+A second guard-rail bounds the cost of an **active** (but unlimited)
+governor, whose per-row ticking is allowed to cost real time but must stay
+within a small constant factor.
+"""
+import time
+
+import pytest
+
+from repro.codegen import runtime
+from repro.codegen.compiler import QueryCompiler
+from repro.robustness.governor import QueryBudget, governed
+from repro.stack.configs import build_config
+from repro.tpch.queries import build_query
+
+GOVERNOR_QUERIES = ["Q1", "Q6"]
+
+
+def _compile(query_name, catalog):
+    config = build_config("dblab-5")
+    compiler = QueryCompiler(config.stack, config.flags)
+    return compiler.compile(build_query(query_name), catalog, query_name)
+
+
+def _stripped_query_fn(source):
+    """The same generated module with the governor hooks removed."""
+    stripped = source.replace("_rt.governed_range(", "range(") \
+                     .replace("_rt.governed_iter(", "(")
+    assert stripped != source, "generated code carries no governor hooks"
+    namespace = {}
+    exec(compile(stripped, "<stripped>", "exec"), namespace)  # noqa: S102
+    return namespace["query"]
+
+
+def _interleaved_minima(first, second, rounds=9):
+    """Best-of-``rounds`` for two thunks, alternating to cancel drift."""
+    best_first = best_second = float("inf")
+    for _ in range(rounds):
+        start = time.perf_counter()
+        first()
+        best_first = min(best_first, time.perf_counter() - start)
+        start = time.perf_counter()
+        second()
+        best_second = min(best_second, time.perf_counter() - start)
+    return best_first, best_second
+
+
+@pytest.mark.parametrize("query_name", GOVERNOR_QUERIES)
+def test_inactive_governor_within_5_percent(catalog, query_name):
+    compiled = _compile(query_name, catalog)
+    aux = compiled.prepare(catalog)
+    hooked = lambda: compiled._query_fn(catalog, runtime, aux)
+    stripped_fn = _stripped_query_fn(compiled.source)
+    stripped = lambda: stripped_fn(catalog, runtime, aux)
+
+    assert hooked() == stripped()  # same rows with and without the hooks
+    hooked_best, stripped_best = _interleaved_minima(hooked, stripped)
+    # 5% relative, with a 1ms absolute floor so timer noise on very fast
+    # queries cannot fail a genuinely-zero-cost path
+    assert hooked_best <= stripped_best * 1.05 + 0.001, \
+        (f"{query_name}: inactive governor hooks cost "
+         f"{(hooked_best / stripped_best - 1) * 100:.1f}% "
+         f"({hooked_best * 1e3:.2f}ms vs {stripped_best * 1e3:.2f}ms)")
+
+
+@pytest.mark.parametrize("query_name", GOVERNOR_QUERIES)
+def test_active_unlimited_governor_is_bounded(catalog, query_name):
+    """Per-row ticking under an installed-but-unlimited budget stays within
+    a small constant factor of the ungoverned run."""
+    compiled = _compile(query_name, catalog)
+    aux = compiled.prepare(catalog)
+    plain = lambda: compiled.run(catalog, aux)
+
+    def ticking():
+        with governed(QueryBudget.unlimited()):
+            return compiled.run(catalog, aux)
+
+    assert plain() == ticking()
+    ticking_best, plain_best = _interleaved_minima(ticking, plain)
+    assert ticking_best <= plain_best * 3.0 + 0.001, \
+        (f"{query_name}: active governor cost "
+         f"{ticking_best / plain_best:.2f}x the ungoverned run")

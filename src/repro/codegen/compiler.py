@@ -15,12 +15,15 @@ from __future__ import annotations
 
 import time
 import weakref
+from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..dsl import qmonad as M
 from ..dsl import qplan as Q
 from ..ir.nodes import Program
+from ..robustness.faults import fault_point, fault_value
+from ..robustness.governor import current_governor
 from ..stack.context import CompilationContext, OptimizationFlags
 from ..stack.language import QMONAD, QPLAN
 from ..stack.pipeline import CompilationResult, DslStack
@@ -67,12 +70,17 @@ class CompiledQuery:
         replaced data.  An explicitly passed ``aux`` is the caller's
         responsibility and is used as-is.
         """
+        fault_point("engine.compiled.run", query=self.name, config=self.config)
         if aux is None:
             if self._aux is None or \
                     self._aux_generation != AccessLayer.for_catalog(db).generation:
                 self.prepare(db)
             aux = self._aux
-        return self._query_fn(db, runtime, aux)
+        rows = self._query_fn(db, runtime, aux)
+        governor = current_governor()
+        if governor is not None:
+            governor.note_output_rows(len(rows))
+        return rows
 
     @property
     def compile_seconds(self) -> float:
@@ -85,14 +93,16 @@ class CompiledQuery:
 
 @dataclass
 class QueryCacheStats:
-    """Hit/miss counters of the compiled-query cache."""
+    """Hit/miss/eviction counters of the compiled-query cache."""
 
     hits: int = 0
     misses: int = 0
+    evictions: int = 0
 
     def reset(self) -> None:
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
 
 class QueryCompiler:
@@ -103,11 +113,20 @@ class QueryCompiler:
     the target catalog.  Recompiling the same plan under the same
     configuration is therefore free: the DSL stack does not run again (this
     directly improves the repeated-compilation numbers behind Figure 9).
+
+    The cache is a bounded LRU so a long-lived serving process cannot grow
+    memory without limit: hits refresh recency, inserts beyond
+    ``cache_capacity`` evict the least recently used entry, and an
+    access-layer generation bump (table re-registration) evicts every entry
+    compiled against the catalog's previous data.
     """
 
-    #: process-wide compiled-query cache: key -> (CompiledQuery, catalog ref)
-    _cache: Dict[Tuple, Tuple[CompiledQuery, "weakref.ref"]] = {}
+    #: process-wide compiled-query cache (LRU order):
+    #: key -> (CompiledQuery, catalog ref, access-layer generation)
+    _cache: "OrderedDict[Tuple, Tuple[CompiledQuery, weakref.ref, int]]" = OrderedDict()
     cache_stats = QueryCacheStats()
+    #: maximum live entries; configurable via :meth:`set_cache_capacity`
+    cache_capacity: int = 512
 
     def __init__(self, stack: DslStack, flags: Optional[OptimizationFlags] = None) -> None:
         self.stack = stack
@@ -124,6 +143,31 @@ class QueryCompiler:
     @classmethod
     def cache_len(cls) -> int:
         return len(cls._cache)
+
+    @classmethod
+    def set_cache_capacity(cls, capacity: int) -> None:
+        """Re-bound the compiled-query cache, evicting LRU-first if needed."""
+        if capacity < 1:
+            raise CompilerError(f"cache capacity must be positive, got {capacity}")
+        cls.cache_capacity = capacity
+        while len(cls._cache) > capacity:
+            cls._cache.popitem(last=False)
+            cls.cache_stats.evictions += 1
+
+    @classmethod
+    def _evict_stale_generations(cls, catalog: Catalog, generation: int) -> None:
+        """Drop entries compiled against an earlier generation of ``catalog``.
+
+        Called on insert: the first compile after a table re-registration
+        observes the bumped generation and clears out every query that baked
+        in the replaced data's statistics and indices.
+        """
+        stale = [key for key, (_, catalog_ref, entry_generation)
+                 in cls._cache.items()
+                 if entry_generation != generation and catalog_ref() is catalog]
+        for key in stale:
+            del cls._cache[key]
+        cls.cache_stats.evictions += len(stale)
 
     def _cache_key(self, plan, catalog: Catalog, query_name: str) -> Optional[Tuple]:
         if not isinstance(plan, Q.Operator):
@@ -169,15 +213,17 @@ class QueryCompiler:
         if key is not None:
             entry = QueryCompiler._cache.get(key)
             if entry is not None:
-                cached, catalog_ref = entry
+                cached, catalog_ref, _ = entry
                 if catalog_ref() is catalog:
                     # The id() component of the key could alias a dead catalog;
                     # the weak reference check rules that out.
+                    QueryCompiler._cache.move_to_end(key)
                     QueryCompiler.cache_stats.hits += 1
                     return replace(cached, cache_hit=True, _aux=None,
                                    _aux_generation=None)
                 del QueryCompiler._cache[key]
 
+        fault_point("compiler.compile", query=query_name, stack=self.stack.name)
         context = CompilationContext(catalog=catalog, flags=self.flags,
                                      query_name=query_name)
         start = time.perf_counter()
@@ -189,6 +235,9 @@ class QueryCompiler:
                 f"(got {type(program).__name__}); is the lowering chain complete?")
         source = PythonUnparser(query_name).unparse(program)
         generation_seconds = time.perf_counter() - start
+        # Injected slow-compile penalty: deterministic extra seconds charged
+        # as if the staged lowering had taken that long (no real sleeping).
+        generation_seconds += fault_value("compiler.slow_compile", 0.0)
 
         start = time.perf_counter()
         namespace: Dict[str, Any] = {}
@@ -210,18 +259,25 @@ class QueryCompiler:
         )
         QueryCompiler.cache_stats.misses += 1
         if key is not None:
-            if len(QueryCompiler._cache) >= 512:
+            generation = key[-1]
+            QueryCompiler._evict_stale_generations(catalog, generation)
+            if len(QueryCompiler._cache) >= QueryCompiler.cache_capacity:
                 QueryCompiler._prune_cache()
-            QueryCompiler._cache[key] = (compiled, weakref.ref(catalog))
+            QueryCompiler._cache[key] = (compiled, weakref.ref(catalog),
+                                         generation)
+        governor = current_governor()
+        if governor is not None:
+            governor.charge_compile(compiled.compile_seconds)
         return compiled
 
     @classmethod
     def _prune_cache(cls) -> None:
-        """Drop entries whose catalog is gone; fall back to a full clear only
-        if the cache is genuinely full of live entries."""
-        dead = [key for key, (_, catalog_ref) in cls._cache.items()
+        """Make room for one insert: drop entries whose catalog is gone,
+        then evict least-recently-used entries until under capacity."""
+        dead = [key for key, (_, catalog_ref, _) in cls._cache.items()
                 if catalog_ref() is None]
         for key in dead:
             del cls._cache[key]
-        if len(cls._cache) >= 512:
-            cls._cache.clear()
+        while len(cls._cache) >= cls.cache_capacity:
+            cls._cache.popitem(last=False)
+            cls.cache_stats.evictions += 1

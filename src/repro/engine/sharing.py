@@ -39,21 +39,31 @@ class SubplanSharing:
 
     @contextmanager
     def _sharing_active(self, plan: qplan.Operator):
-        """Arm the cache for one execution of ``plan`` (no-op when the plan
-        has no repeated subtrees)."""
+        """Arm the cache for one execution of ``plan``.
+
+        The previous per-execution state is saved and restored rather than
+        reset to ``None``: a nested ``execute()`` on the same engine instance
+        (the hardened executor reuses engines across ladder attempts, and
+        operator callbacks may re-enter) must neither observe the outer
+        plan's materialised rows nor disarm the outer context on exit.  The
+        ``finally`` also guarantees error-path hygiene — a query raising
+        mid-execution discards its materialisation cache, so the next run
+        can never see poisoned partial state.
+        """
         if plan is self._last_plan:
             shared = self._last_shared
         else:
             shared = qplan.shared_subplan_fingerprints(plan)
             self._last_plan, self._last_shared = plan, shared
-        if not shared:
-            yield
-            return
-        self._shared_ids, self._shared_cache = shared, {}
+        saved = (self._shared_ids, self._shared_cache)
+        if shared:
+            self._shared_ids, self._shared_cache = shared, {}
+        else:
+            self._shared_ids = self._shared_cache = None
         try:
             yield
         finally:
-            self._shared_ids = self._shared_cache = None
+            self._shared_ids, self._shared_cache = saved
 
     def _sharing_replay(self, plan: qplan.Operator):
         """An iterator over the cached result of a shared node, or ``None``

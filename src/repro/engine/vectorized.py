@@ -24,6 +24,8 @@ from typing import Any, Dict, Iterator, List, Optional, Sequence, Tuple
 from ..dsl import qplan
 from ..dsl.expr_compile import (compile_columnar, compile_columnar_pair,
                                 compile_columnar_predicate, compile_row)
+from ..robustness.faults import fault_point
+from ..robustness.governor import current_governor
 from ..storage.access import AccessLayer, rewrite_string_predicates
 from ..storage.catalog import Catalog
 from .sharing import SubplanSharing
@@ -94,13 +96,27 @@ class VectorizedEngine(SubplanSharing):
                 columns = [batch.columns[name] for name in fields]
                 for i in batch.indices():
                     rows.append({name: column[i] for name, column in zip(fields, columns)})
-            return rows
+        governor = current_governor()
+        if governor is not None:
+            governor.note_output_rows(len(rows))
+        return rows
 
     def execute_batches(self, plan: qplan.Operator) -> Iterator[ColumnBatch]:
         """The batch pipeline for one operator (shared subplans run once and
-        are replayed from the materialised-batch cache)."""
+        are replayed from the materialised-batch cache).
+
+        Batch boundaries are the engine's cooperative cancellation points:
+        with a governor installed every emitted batch charges its selected
+        rows at an operator checkpoint, so a budget trip cancels within one
+        batch.  Without a governor the stream is returned unwrapped.
+        """
+        fault_point("engine.vectorized.batch", operator=type(plan).__name__)
         cached = self._sharing_replay(plan)
-        return cached if cached is not None else self._dispatch(plan)
+        stream = cached if cached is not None else self._dispatch(plan)
+        governor = current_governor()
+        if governor is None:
+            return stream
+        return governor.guard_batches(stream, lambda batch: batch.num_selected)
 
     def _dispatch(self, plan: qplan.Operator) -> Iterator[ColumnBatch]:
         if isinstance(plan, qplan.Scan):

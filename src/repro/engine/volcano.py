@@ -22,6 +22,8 @@ from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
 
 from ..dsl import qplan
 from ..dsl.expr_compile import compile_pair, compile_row
+from ..robustness.faults import fault_point
+from ..robustness.governor import current_governor
 from ..storage.access import AccessLayer
 from ..storage.catalog import Catalog
 from .sharing import SubplanSharing
@@ -47,13 +49,29 @@ class VolcanoEngine(SubplanSharing):
     def execute(self, plan: qplan.Operator) -> List[Row]:
         """Run a plan to completion and return the list of output rows."""
         with self._sharing_active(plan):
-            return list(self.iterate(plan))
+            rows = list(self.iterate(plan))
+        governor = current_governor()
+        if governor is not None:
+            governor.note_output_rows(len(rows))
+        return rows
 
     def iterate(self, plan: qplan.Operator) -> Iterator[Row]:
         """The iterator-model pipeline for one operator (shared subplans are
-        executed once and replayed from the materialised cache)."""
+        executed once and replayed from the materialised cache).
+
+        This is the interpreter's cooperative cancellation point: with a
+        governor installed, every operator's ``next()`` stream ticks the
+        budget per pulled row, so a trip cancels within one row of the limit
+        on any pipeline shape.  Without a governor the stream is returned
+        unwrapped.
+        """
+        fault_point("engine.volcano.operator", operator=type(plan).__name__)
         cached = self._sharing_replay(plan)
-        return cached if cached is not None else self._dispatch(plan)
+        stream = cached if cached is not None else self._dispatch(plan)
+        governor = current_governor()
+        if governor is None:
+            return stream
+        return governor.guard_rows(stream)
 
     def _dispatch(self, plan: qplan.Operator) -> Iterator[Row]:
         """The ``open/next/close`` pipeline for one operator."""

@@ -1,0 +1,382 @@
+"""The engine-fallback ladder: degrade instead of dying.
+
+:class:`HardenedExecutor` runs one query against the redundant engine lineup
+this repository already has, degrading on failure along two axes:
+
+* **engine tier** — compiled stack → vectorized → Volcano interpreter.  Any
+  non-budget engine failure moves to the next tier; a compile-time budget
+  trip does too (the whole point of the direct engines is that they need no
+  compilation).
+* **plan mode** — access-path plan → re-planned without ``access_rules`` →
+  raw (unoptimized, validated) plan.  Access-layer failures (missing index,
+  corrupted zone map — :class:`~repro.storage.access.AccessError` and
+  :class:`~repro.robustness.faults.DataCorruptionFault`) degrade the plan
+  instead of the engine: the same tier retries on a plan that no longer
+  touches the broken structure.
+
+Transient faults (:class:`~repro.robustness.faults.TransientFault`) are
+retried in place with exponential backoff.  A per-(fingerprint, tier)
+circuit breaker disables a repeatedly failing tier until a cooldown expires.
+Every degradation is recorded in a structured
+:class:`~repro.robustness.incidents.IncidentLog`; timeout/row budget trips
+are final and re-raise :class:`~repro.robustness.governor.BudgetExceeded`
+to the caller.
+
+The executor detects access-layer generation skew: if a table is
+re-registered between planning and execution (or mid-ladder), the stale plan
+is thrown away and re-planned against the new data, with a
+``generation_skew`` incident — never silently serving stale indices.
+"""
+from __future__ import annotations
+
+import time
+from contextlib import nullcontext
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from ..dsl import qplan as Q
+from ..engine.template_expander import TemplateExpander
+from ..engine.vectorized import VectorizedEngine
+from ..engine.volcano import VolcanoEngine
+from ..planner import Planner, PlannerOptions
+from ..storage.access import AccessError, AccessLayer
+from ..storage.catalog import Catalog
+from .faults import DataCorruptionFault, TransientFault, fault_point
+from .governor import BudgetExceeded, QueryBudget, governed
+from .incidents import DEFAULT_INCIDENTS, IncidentLog
+
+ENGINE_TIERS = ("compiled", "template", "vectorized", "interpreter")
+PLAN_MODES = ("access", "no_access", "raw")
+
+#: errors that indicate a broken physical access structure: degrade the plan
+#: (drop access paths), not the engine
+ACCESS_ERRORS = (AccessError, DataCorruptionFault)
+
+
+class LadderExhausted(RuntimeError):
+    """Every configured tier failed; ``attempts`` records each failure."""
+
+    def __init__(self, query: str, attempts: List[dict]):
+        self.query = query
+        self.attempts = attempts
+        causes = ", ".join(f"{a['tier']}/{a['plan_mode']}: {a['error']}"
+                           for a in attempts)
+        super().__init__(f"all execution tiers failed for {query!r} ({causes})")
+
+
+class CircuitBreaker:
+    """Per-key failure counter with open/cooldown/half-open states."""
+
+    def __init__(self, threshold: int = 3, cooldown_seconds: float = 30.0,
+                 clock: Callable[[], float] = time.monotonic) -> None:
+        if threshold < 1:
+            raise ValueError("threshold must be >= 1")
+        self.threshold = threshold
+        self.cooldown_seconds = cooldown_seconds
+        self._clock = clock
+        self._failures: Dict[Tuple, int] = {}
+        self._opened_at: Dict[Tuple, float] = {}
+
+    def allow(self, key: Tuple) -> bool:
+        """Whether an attempt may run: closed, or open-but-cooled (half-open
+        probe — one attempt is let through; its outcome closes or re-arms)."""
+        opened = self._opened_at.get(key)
+        if opened is None:
+            return True
+        return self._clock() - opened >= self.cooldown_seconds
+
+    def is_open(self, key: Tuple) -> bool:
+        return key in self._opened_at
+
+    def record_failure(self, key: Tuple) -> bool:
+        """Count a failure; returns True when this opens (or re-arms) the
+        breaker."""
+        count = self._failures.get(key, 0) + 1
+        self._failures[key] = count
+        if count >= self.threshold:
+            self._opened_at[key] = self._clock()
+            return True
+        return False
+
+    def record_success(self, key: Tuple) -> bool:
+        """Reset the key; returns True when this closed an open breaker."""
+        was_open = self._opened_at.pop(key, None) is not None
+        self._failures.pop(key, None)
+        return was_open
+
+
+@dataclass
+class ExecutionReport:
+    """The outcome of one hardened execution."""
+
+    query: str
+    rows: List[dict]
+    tier: str
+    plan_mode: str
+    #: every failed attempt before the successful one, in order:
+    #: {tier, plan_mode, error, error_type, elapsed_seconds}
+    attempts: List[dict] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        return bool(self.attempts)
+
+
+class HardenedExecutor:
+    """Runs queries through the fallback ladder against one catalog.
+
+    Engine instances are created once and reused across queries and ladder
+    attempts (which is what makes the per-execution cache hygiene of
+    :class:`~repro.engine.sharing.SubplanSharing` load-bearing).
+    """
+
+    def __init__(self, catalog: Catalog, *,
+                 tiers: Sequence[str] = ("compiled", "vectorized", "interpreter"),
+                 compiled_config: str = "dblab-5",
+                 budget: Optional[QueryBudget] = None,
+                 incidents: Optional[IncidentLog] = None,
+                 breaker_threshold: int = 3,
+                 breaker_cooldown_seconds: float = 30.0,
+                 max_retries: int = 2,
+                 backoff_seconds: float = 0.01,
+                 sleep: Callable[[float], None] = time.sleep) -> None:
+        unknown = [tier for tier in tiers if tier not in ENGINE_TIERS]
+        if unknown:
+            raise ValueError(f"unknown tiers {unknown}; valid: {ENGINE_TIERS}")
+        if not tiers:
+            raise ValueError("at least one tier is required")
+        self.catalog = catalog
+        self.tiers = tuple(tiers)
+        self.compiled_config = compiled_config
+        self.budget = budget
+        self.incidents = incidents if incidents is not None else DEFAULT_INCIDENTS
+        self.breaker = CircuitBreaker(breaker_threshold, breaker_cooldown_seconds)
+        self.max_retries = max_retries
+        self.backoff_seconds = backoff_seconds
+        self._sleep = sleep
+        self._volcano = VolcanoEngine(catalog)
+        self._vectorized = VectorizedEngine(catalog)
+        self._template = TemplateExpander(catalog)
+        self._compilers: Dict[str, object] = {}
+        #: (fingerprint, mode) -> (access-layer generation, planned tree)
+        self._plans: Dict[Tuple[str, str], Tuple[int, Q.Operator]] = {}
+
+    # ------------------------------------------------------------------
+    # Planning
+    # ------------------------------------------------------------------
+    def _plan_options(self, mode: str) -> Optional[PlannerOptions]:
+        if mode == "access":
+            return PlannerOptions.all_rules()
+        if mode == "no_access":
+            return PlannerOptions.no_access_paths()
+        return None  # raw
+
+    def _plan(self, plan: Q.Operator, fingerprint: str, mode: str,
+              force: bool = False) -> Tuple[int, Q.Operator]:
+        """The planned tree for ``mode``, memoized per generation.
+
+        A fresh :class:`Planner` is built per (re)planning so no memoized
+        optimization computed against stale statistics can leak through.
+        """
+        layer = AccessLayer.for_catalog(self.catalog)
+        key = (fingerprint, mode)
+        cached = self._plans.get(key)
+        if cached is not None and not force and cached[0] == layer.generation:
+            return cached
+        options = self._plan_options(mode)
+        if options is None:
+            Q.validate(plan, self.catalog)
+            planned = plan
+        else:
+            planned = Planner(self.catalog, options).optimize(plan)
+        entry = (layer.generation, planned)
+        self._plans[key] = entry
+        return entry
+
+    # ------------------------------------------------------------------
+    # Tier runners
+    # ------------------------------------------------------------------
+    def _compiler(self, mode: str):
+        from ..codegen.compiler import QueryCompiler
+        from ..stack.configs import build_config
+
+        key = f"{self.compiled_config}:{mode}"
+        compiler = self._compilers.get(key)
+        if compiler is None:
+            config = build_config(self.compiled_config)
+            # Planning is the executor's job (it owns the mode axis), so the
+            # compiler's own logical optimizer stays off; the access-layer
+            # flag follows the plan mode so a degraded plan also stops the
+            # generated code from touching catalog-resident structures.
+            flags = config.flags.copy_with(
+                logical_plan_optimizer=False,
+                catalog_access_layer=(mode == "access"),
+                subplan_sharing=True)
+            compiler = QueryCompiler(config.stack, flags)
+            self._compilers[key] = compiler
+        return compiler
+
+    def _run_tier(self, tier: str, planned: Q.Operator,
+                  query_name: str) -> List[dict]:
+        if tier == "compiled":
+            compiled = self._compiler_for_run(planned, query_name)
+            return compiled.run(self.catalog)
+        if tier == "template":
+            return self._template.compile(planned, query_name).run(self.catalog)
+        if tier == "vectorized":
+            return self._vectorized.execute(planned)
+        return self._volcano.execute(planned)
+
+    def _compiler_for_run(self, planned: Q.Operator, query_name: str):
+        return self._current_compiler.compile(planned, self.catalog, query_name)
+
+    # ------------------------------------------------------------------
+    # The ladder
+    # ------------------------------------------------------------------
+    def execute(self, plan: Q.Operator, query_name: str = "query",
+                budget: Optional[QueryBudget] = None) -> ExecutionReport:
+        """Run ``plan`` through the ladder; raises :class:`BudgetExceeded`
+        on a final budget trip, :class:`LadderExhausted` when every tier
+        fails."""
+        budget = budget if budget is not None else self.budget
+        fingerprint = Q.plan_fingerprint(plan)
+        attempts: List[dict] = []
+        mode_index = 0
+        tier_index = 0
+        retries = 0
+
+        while tier_index < len(self.tiers):
+            tier = self.tiers[tier_index]
+            mode = PLAN_MODES[mode_index]
+            breaker_key = (fingerprint, tier)
+            if not self.breaker.allow(breaker_key):
+                attempts.append({"tier": tier, "plan_mode": mode,
+                                 "error": "circuit breaker open",
+                                 "error_type": "CircuitOpen",
+                                 "elapsed_seconds": 0.0})
+                tier_index += 1
+                retries = 0
+                continue
+
+            started = time.perf_counter()
+            try:
+                rows = self._attempt(plan, fingerprint, tier, mode,
+                                     query_name, budget)
+            except BudgetExceeded as error:
+                elapsed = time.perf_counter() - started
+                self.incidents.report(
+                    "budget_trip", query=query_name, tier=tier,
+                    cause=f"budget:{error.kind}", message=str(error),
+                    elapsed_seconds=elapsed, plan_mode=mode,
+                    stats=error.stats.as_dict())
+                if error.kind == "compile" and tier_index + 1 < len(self.tiers):
+                    # compile-time blowup: the direct tiers need no compile
+                    attempts.append(self._attempt_record(tier, mode, error, elapsed))
+                    self._degrade_tier(query_name, tier, error, elapsed, mode)
+                    tier_index += 1
+                    retries = 0
+                    continue
+                raise
+            except TransientFault as error:
+                elapsed = time.perf_counter() - started
+                self.breaker.record_failure(breaker_key)
+                if retries < self.max_retries:
+                    delay = self.backoff_seconds * (2 ** retries)
+                    retries += 1
+                    self.incidents.report(
+                        "transient_retry", query=query_name, tier=tier,
+                        cause=type(error).__name__, message=str(error),
+                        elapsed_seconds=elapsed, plan_mode=mode,
+                        attempt=retries, backoff_seconds=delay)
+                    attempts.append(self._attempt_record(tier, mode, error, elapsed))
+                    self._sleep(delay)
+                    continue
+                attempts.append(self._attempt_record(tier, mode, error, elapsed))
+                self._degrade_tier(query_name, tier, error, elapsed, mode)
+                self._note_breaker_opened(breaker_key, query_name, tier)
+                tier_index += 1
+                retries = 0
+                continue
+            except ACCESS_ERRORS as error:
+                elapsed = time.perf_counter() - started
+                attempts.append(self._attempt_record(tier, mode, error, elapsed))
+                if mode_index + 1 < len(PLAN_MODES):
+                    mode_index += 1
+                    self.incidents.report(
+                        "plan_degraded", query=query_name, tier=tier,
+                        cause=type(error).__name__, message=str(error),
+                        elapsed_seconds=elapsed, from_mode=mode,
+                        to_mode=PLAN_MODES[mode_index])
+                    retries = 0
+                    continue  # same tier, safer plan
+                self.breaker.record_failure(breaker_key)
+                self._degrade_tier(query_name, tier, error, elapsed, mode)
+                self._note_breaker_opened(breaker_key, query_name, tier)
+                tier_index += 1
+                retries = 0
+                continue
+            except Exception as error:  # noqa: BLE001 - the ladder's purpose
+                elapsed = time.perf_counter() - started
+                attempts.append(self._attempt_record(tier, mode, error, elapsed))
+                self.breaker.record_failure(breaker_key)
+                self._degrade_tier(query_name, tier, error, elapsed, mode)
+                self._note_breaker_opened(breaker_key, query_name, tier)
+                tier_index += 1
+                retries = 0
+                continue
+
+            if self.breaker.record_success(breaker_key):
+                self.incidents.report(
+                    "circuit_close", query=query_name, tier=tier,
+                    cause="probe_succeeded",
+                    message=f"half-open probe succeeded, {tier} re-enabled")
+            return ExecutionReport(query=query_name, rows=rows, tier=tier,
+                                   plan_mode=mode, attempts=attempts)
+
+        raise LadderExhausted(query_name, attempts)
+
+    # ------------------------------------------------------------------
+    def _attempt(self, plan: Q.Operator, fingerprint: str, tier: str,
+                 mode: str, query_name: str,
+                 budget: Optional[QueryBudget]) -> List[dict]:
+        generation, planned = self._plan(plan, fingerprint, mode)
+        # the plan→execute window: a concurrent re-registration (simulated by
+        # the executor.pre_execute fault site) lands here
+        fault_point("executor.pre_execute", query=query_name, tier=tier,
+                    catalog=self.catalog)
+        layer = AccessLayer.for_catalog(self.catalog)
+        if layer.generation != generation:
+            self.incidents.report(
+                "generation_skew", query=query_name, tier=tier,
+                cause="access_layer_generation",
+                message=(f"access-layer generation moved {generation} -> "
+                         f"{layer.generation} between plan and execute; "
+                         "re-planning"),
+                plan_mode=mode)
+            generation, planned = self._plan(plan, fingerprint, mode, force=True)
+        self._current_compiler = self._compiler(mode)
+        scope = governed(budget) if budget is not None else nullcontext()
+        with scope:
+            return self._run_tier(tier, planned, query_name)
+
+    def _attempt_record(self, tier: str, mode: str, error: BaseException,
+                        elapsed: float) -> dict:
+        return {"tier": tier, "plan_mode": mode, "error": str(error),
+                "error_type": type(error).__name__,
+                "elapsed_seconds": elapsed}
+
+    def _degrade_tier(self, query_name: str, tier: str, error: BaseException,
+                      elapsed: float, mode: str) -> None:
+        self.incidents.report(
+            "tier_failure", query=query_name, tier=tier,
+            cause=type(error).__name__, message=str(error),
+            elapsed_seconds=elapsed, plan_mode=mode)
+
+    def _note_breaker_opened(self, key: Tuple, query_name: str,
+                             tier: str) -> None:
+        if self.breaker.is_open(key) and not self.breaker.allow(key):
+            self.incidents.report(
+                "circuit_open", query=query_name, tier=tier,
+                cause="failure_threshold",
+                message=(f"{tier} disabled for this plan fingerprint for "
+                         f"{self.breaker.cooldown_seconds}s"))

@@ -1,0 +1,192 @@
+"""Per-query resource budgets with cooperative cancellation.
+
+A :class:`ResourceGovernor` owns one :class:`QueryBudget` for the duration of
+one query execution.  Engines do not poll the wall clock themselves; they
+call cheap checkpoint hooks — ``tick(rows)`` per row, ``checkpoint(rows)``
+per operator/batch boundary, ``charge_compile(seconds)`` once per staged
+lowering — and the governor trips a typed :class:`BudgetExceeded` carrying
+the progress made so far.
+
+The governor is installed with the :func:`governed` context manager, which
+stores it in a :class:`contextvars.ContextVar`.  Everything is built so the
+*inactive* path costs nothing measurable: engines look the governor up once
+per operator (not per row), and the compiled-code hooks in
+``codegen/runtime.py`` return native ``range``/iterables when no governor is
+active, so fused loops run unwrapped.
+
+Wall-clock reads are amortised: ``tick`` only consults ``perf_counter`` every
+``check_interval`` rows (row budgets are still enforced on every tick, so a
+row-cap trip is exact to within one row).
+"""
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from contextvars import ContextVar
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, Optional
+
+
+@dataclass(frozen=True)
+class QueryBudget:
+    """Limits for one query execution.  ``None`` disables a limit."""
+
+    timeout_seconds: Optional[float] = None
+    max_output_rows: Optional[int] = None
+    max_intermediate_rows: Optional[int] = None
+    max_compile_seconds: Optional[float] = None
+    check_interval: int = 256
+
+    def __post_init__(self):
+        if self.check_interval < 1:
+            raise ValueError("check_interval must be >= 1")
+        for name in ("timeout_seconds", "max_output_rows",
+                     "max_intermediate_rows", "max_compile_seconds"):
+            value = getattr(self, name)
+            if value is not None and value < 0:
+                raise ValueError(f"{name} must be non-negative")
+
+    @classmethod
+    def unlimited(cls) -> "QueryBudget":
+        return cls()
+
+
+@dataclass
+class ProgressStats:
+    """Partial progress carried by a :class:`BudgetExceeded`."""
+
+    rows_processed: int = 0
+    output_rows: int = 0
+    checkpoints: int = 0
+    elapsed_seconds: float = 0.0
+    compile_seconds: float = 0.0
+
+    def as_dict(self) -> dict:
+        return {
+            "rows_processed": self.rows_processed,
+            "output_rows": self.output_rows,
+            "checkpoints": self.checkpoints,
+            "elapsed_seconds": self.elapsed_seconds,
+            "compile_seconds": self.compile_seconds,
+        }
+
+
+class BudgetExceeded(RuntimeError):
+    """A query blew through its :class:`QueryBudget`.
+
+    ``kind`` is one of ``"timeout"``, ``"rows"``, ``"output_rows"`` or
+    ``"compile"``; ``stats`` is a :class:`ProgressStats` snapshot taken at
+    the tripping checkpoint.
+    """
+
+    def __init__(self, kind: str, limit, stats: ProgressStats):
+        self.kind = kind
+        self.limit = limit
+        self.stats = stats
+        super().__init__(
+            f"query budget exceeded ({kind}: limit={limit}, "
+            f"rows={stats.rows_processed}, elapsed={stats.elapsed_seconds:.3f}s)")
+
+
+_ACTIVE: ContextVar[Optional["ResourceGovernor"]] = ContextVar(
+    "repro_active_governor", default=None)
+
+
+def current_governor() -> Optional["ResourceGovernor"]:
+    """The governor installed for the current context, or ``None``."""
+    return _ACTIVE.get()
+
+
+@contextmanager
+def governed(budget: QueryBudget):
+    """Install a fresh :class:`ResourceGovernor` for the enclosed execution."""
+    governor = ResourceGovernor(budget)
+    token = _ACTIVE.set(governor)
+    try:
+        yield governor
+    finally:
+        _ACTIVE.reset(token)
+
+
+@dataclass
+class ResourceGovernor:
+    """Enforces one :class:`QueryBudget` via cooperative checkpoints."""
+
+    budget: QueryBudget
+    stats: ProgressStats = field(default_factory=ProgressStats)
+
+    def __post_init__(self):
+        self._started = time.perf_counter()
+        self._since_clock_check = 0
+
+    # -- checkpoint hooks ---------------------------------------------------
+
+    def tick(self, rows: int = 1) -> None:
+        """Charge ``rows`` of intermediate work; cheap enough to call per row."""
+        stats = self.stats
+        stats.rows_processed += rows
+        limit = self.budget.max_intermediate_rows
+        if limit is not None and stats.rows_processed > limit:
+            self._trip("rows", limit)
+        self._since_clock_check += rows
+        if self._since_clock_check >= self.budget.check_interval:
+            self._since_clock_check = 0
+            self._check_clock()
+
+    def checkpoint(self, rows: int = 0) -> None:
+        """Operator/batch boundary: always consults the wall clock."""
+        self.stats.checkpoints += 1
+        if rows:
+            stats = self.stats
+            stats.rows_processed += rows
+            limit = self.budget.max_intermediate_rows
+            if limit is not None and stats.rows_processed > limit:
+                self._trip("rows", limit)
+        self._since_clock_check = 0
+        self._check_clock()
+
+    def charge_compile(self, seconds: float) -> None:
+        self.stats.compile_seconds += seconds
+        limit = self.budget.max_compile_seconds
+        if limit is not None and self.stats.compile_seconds > limit:
+            self._trip("compile", limit)
+
+    def note_output_rows(self, count: int) -> None:
+        self.stats.output_rows += count
+        limit = self.budget.max_output_rows
+        if limit is not None and self.stats.output_rows > limit:
+            self._trip("output_rows", limit)
+
+    # -- iterator guards ----------------------------------------------------
+
+    def guard_rows(self, rows: Iterable) -> Iterator:
+        """Wrap a row iterator, ticking once per row."""
+        tick = self.tick
+        for row in rows:
+            tick()
+            yield row
+
+    def guard_batches(self, batches: Iterable, num_rows) -> Iterator:
+        """Wrap a batch iterator; ``num_rows(batch)`` sizes each checkpoint."""
+        checkpoint = self.checkpoint
+        for batch in batches:
+            checkpoint(num_rows(batch))
+            yield batch
+
+    # -- internals ----------------------------------------------------------
+
+    def elapsed(self) -> float:
+        return time.perf_counter() - self._started
+
+    def _check_clock(self) -> None:
+        limit = self.budget.timeout_seconds
+        if limit is None:
+            return
+        elapsed = self.elapsed()
+        if elapsed > limit:
+            self.stats.elapsed_seconds = elapsed
+            self._trip("timeout", limit)
+
+    def _trip(self, kind: str, limit) -> None:
+        self.stats.elapsed_seconds = self.elapsed()
+        raise BudgetExceeded(kind, limit, self.stats)

@@ -1,0 +1,129 @@
+"""Structured incident log for the execution-hardening layer.
+
+Every degradation the :class:`~repro.robustness.fallback.HardenedExecutor`
+performs — a tier falling over, a plan losing its access paths, a transient
+retry, a circuit breaker opening — is recorded as one :class:`Incident`.
+The compiled-stack lowering also reports here when it silently downgrades a
+leftouter ``IndexJoin`` to the hash lowering (ROADMAP carry-over).
+
+The log is an in-process ring buffer (bounded, oldest-first eviction) so a
+long-lived serving process cannot grow it without limit.  A process-wide
+default instance, :data:`DEFAULT_INCIDENTS`, receives reports from call
+sites that have no executor-scoped log in hand.
+"""
+from __future__ import annotations
+
+import itertools
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, Iterator, List, Optional
+
+_SEQ = itertools.count(1)
+
+#: Incident categories used across the subsystem.  Kept as plain strings so
+#: the log stays trivially serialisable; this tuple is the schema reference.
+CATEGORIES = (
+    "tier_failure",        # an engine tier raised and the ladder moved on
+    "plan_degraded",       # access-path / optimized plan replaced by a safer one
+    "transient_retry",     # transient fault, retried with backoff
+    "circuit_open",        # breaker disabled a (fingerprint, tier) pair
+    "circuit_close",       # breaker re-enabled after cooldown probe succeeded
+    "generation_skew",     # access-layer generation moved between plan and run
+    "budget_trip",         # governor raised BudgetExceeded
+    "lowering_fallback",   # compiled stack silently chose a weaker lowering
+)
+
+
+@dataclass(frozen=True)
+class Incident:
+    """One structured incident record.
+
+    Schema (all fields always present; ``detail`` is free-form context):
+
+    ``seq``       monotonically increasing id within the process
+    ``timestamp`` ``time.time()`` at report time
+    ``category``  one of :data:`CATEGORIES`
+    ``query``     query name if known (e.g. ``"Q6"``), else ``""``
+    ``tier``      engine tier involved (``"compiled"``/``"vectorized"``/...)
+    ``cause``     exception class name or short machine-readable cause
+    ``message``   human-readable one-liner
+    ``elapsed_seconds`` time spent in the failing attempt (0.0 if n/a)
+    ``detail``    extra key/value context (plan mode, attempt number, ...)
+    """
+
+    seq: int
+    timestamp: float
+    category: str
+    query: str
+    tier: str
+    cause: str
+    message: str
+    elapsed_seconds: float = 0.0
+    detail: Dict[str, object] = field(default_factory=dict)
+
+    def as_dict(self) -> dict:
+        return {
+            "seq": self.seq,
+            "timestamp": self.timestamp,
+            "category": self.category,
+            "query": self.query,
+            "tier": self.tier,
+            "cause": self.cause,
+            "message": self.message,
+            "elapsed_seconds": self.elapsed_seconds,
+            "detail": dict(self.detail),
+        }
+
+
+class IncidentLog:
+    """Bounded, in-order incident sink with simple query helpers."""
+
+    def __init__(self, capacity: int = 1024,
+                 clock: Callable[[], float] = time.time):
+        if capacity < 1:
+            raise ValueError("capacity must be >= 1")
+        self._records: Deque[Incident] = deque(maxlen=capacity)
+        self._clock = clock
+
+    def report(self, category: str, *, query: str = "", tier: str = "",
+               cause: str = "", message: str = "",
+               elapsed_seconds: float = 0.0,
+               **detail) -> Incident:
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown incident category: {category!r}")
+        incident = Incident(seq=next(_SEQ), timestamp=self._clock(),
+                            category=category, query=query, tier=tier,
+                            cause=cause, message=message,
+                            elapsed_seconds=elapsed_seconds, detail=detail)
+        self._records.append(incident)
+        return incident
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __iter__(self) -> Iterator[Incident]:
+        return iter(tuple(self._records))
+
+    def records(self, category: Optional[str] = None,
+                query: Optional[str] = None) -> List[Incident]:
+        out = []
+        for record in self._records:
+            if category is not None and record.category != category:
+                continue
+            if query is not None and record.query != query:
+                continue
+            out.append(record)
+        return out
+
+    def last(self, category: Optional[str] = None) -> Optional[Incident]:
+        matches = self.records(category)
+        return matches[-1] if matches else None
+
+    def clear(self) -> None:
+        self._records.clear()
+
+
+#: Process-wide sink for call sites without an executor-scoped log (e.g. the
+#: compiled-stack lowering).  Tests may ``clear()`` it between cases.
+DEFAULT_INCIDENTS = IncidentLog()

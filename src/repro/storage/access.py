@@ -38,6 +38,7 @@ from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
 from ..dsl import expr as E
 from ..dsl import qplan as Q
+from ..robustness.faults import fault_point
 
 #: sorts after every real string with a given prefix: the exclusive upper
 #: bound of the ``LIKE 'prefix%'`` value range
@@ -464,6 +465,7 @@ class AccessLayer:
         merely unique, ``None`` when the data is not unique after all (the
         engines then fall back to the plain hash join).
         """
+        fault_point("access.key_index", table=table, column=column)
         key = (table, column)
         if key not in self._key_indices:
             self._key_indices[key] = self._build_key_index(table, column)
@@ -627,6 +629,7 @@ class AccessLayer:
         chunk ranges, else every row — ascending, reiterable, and memoized
         per ``(table, filters)`` so the repeated-query regime pays the
         slice-and-sort once."""
+        fault_point("access.zone_map", table=table)
         key = (table, tuple(filters))
         cached = self._candidates.get(key)
         if cached is None:

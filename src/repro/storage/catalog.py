@@ -10,6 +10,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, Dict, Iterable, List, Optional
 
+from ..robustness.faults import fault_point
 from .layouts import ColumnarTable
 from .schema import Schema, TableSchema
 from .statistics import Statistics, compute_table_statistics
@@ -54,6 +55,7 @@ class Catalog:
     # Access (used by interpreters and generated code)
     # ------------------------------------------------------------------
     def table(self, name: str) -> ColumnarTable:
+        fault_point("catalog.table", table=name)
         try:
             return self.tables[name]
         except KeyError:

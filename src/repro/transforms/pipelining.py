@@ -276,6 +276,22 @@ class _PushCompiler:
             usable = AccessLayer.for_catalog(self.catalog).key_index(
                 node.index_table, node.index_column) is not None
         if not usable:
+            if self.catalog_access and parts is not None \
+                    and node.kind == "leftouter":
+                # The plain lowering hashes the *right* side for outer joins,
+                # which the left-table index cannot serve — a real downgrade
+                # the planner asked for, so record it instead of degrading
+                # silently (ROADMAP carry-over).
+                from ..robustness.incidents import DEFAULT_INCIDENTS
+                DEFAULT_INCIDENTS.report(
+                    "lowering_fallback",
+                    query=self.context.query_name or "",
+                    tier="compiled",
+                    cause="leftouter_index_join",
+                    message=(f"IndexJoin on {node.index_table}."
+                             f"{node.index_column} lowered to hash join: "
+                             "leftouter kind is not index-servable"),
+                    table=node.index_table, column=node.index_column)
             self._hash_join(node, consume)
             return
         scan, build_filter = parts

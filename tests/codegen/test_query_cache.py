@@ -190,3 +190,78 @@ class TestAccessLayerGeneration:
         assert layer.generation == 1
         tiny_catalog.register(ColumnarTable(table.schema, dict(table.columns)))
         assert layer.generation == 2
+
+
+def _distinct_plan(n):
+    return Q.Select(Q.Scan("R"), col("r_id") > n)
+
+
+@pytest.fixture()
+def bounded_capacity():
+    saved = QueryCompiler.cache_capacity
+    yield
+    QueryCompiler.cache_capacity = saved
+
+
+class TestCacheBounds:
+    """The compiled-query cache is a bounded LRU: a long-lived process must
+    not grow it without limit, and recency must decide who gets evicted."""
+
+    def _compiler(self):
+        config = build_config("dblab-5")
+        return QueryCompiler(config.stack, config.flags)
+
+    def test_capacity_must_be_positive(self, bounded_capacity):
+        from repro.codegen.compiler import CompilerError
+        with pytest.raises(CompilerError, match="positive"):
+            QueryCompiler.set_cache_capacity(0)
+
+    def test_inserts_beyond_capacity_evict_lru_first(self, tiny_catalog,
+                                                     bounded_capacity):
+        QueryCompiler.set_cache_capacity(2)
+        compiler = self._compiler()
+        for n in range(3):
+            compiler.compile(_distinct_plan(n), tiny_catalog, "q")
+        assert QueryCompiler.cache_len() == 2
+        assert QueryCompiler.cache_stats.evictions == 1
+        # plan 0 was least recently used: recompiling it misses
+        assert not compiler.compile(_distinct_plan(0), tiny_catalog, "q").cache_hit
+        # plan 2 survived the plan-0 reinsert (which evicted plan 1)
+        assert compiler.compile(_distinct_plan(2), tiny_catalog, "q").cache_hit
+
+    def test_cache_hits_refresh_recency(self, tiny_catalog, bounded_capacity):
+        QueryCompiler.set_cache_capacity(2)
+        compiler = self._compiler()
+        compiler.compile(_distinct_plan(0), tiny_catalog, "q")
+        compiler.compile(_distinct_plan(1), tiny_catalog, "q")
+        assert compiler.compile(_distinct_plan(0), tiny_catalog, "q").cache_hit
+        compiler.compile(_distinct_plan(2), tiny_catalog, "q")  # evicts plan 1
+        assert compiler.compile(_distinct_plan(0), tiny_catalog, "q").cache_hit
+        assert not compiler.compile(_distinct_plan(1), tiny_catalog, "q").cache_hit
+
+    def test_shrinking_capacity_evicts_immediately(self, tiny_catalog,
+                                                   bounded_capacity):
+        QueryCompiler.set_cache_capacity(4)
+        compiler = self._compiler()
+        for n in range(4):
+            compiler.compile(_distinct_plan(n), tiny_catalog, "q")
+        QueryCompiler.set_cache_capacity(1)
+        assert QueryCompiler.cache_len() == 1
+        assert QueryCompiler.cache_stats.evictions == 3
+        # the survivor is the most recently inserted plan
+        assert compiler.compile(_distinct_plan(3), tiny_catalog, "q").cache_hit
+
+    def test_generation_bump_evicts_stale_entries(self, tiny_catalog,
+                                                  bounded_capacity):
+        from repro.storage.layouts import ColumnarTable
+        compiler = self._compiler()
+        for n in range(3):
+            compiler.compile(_distinct_plan(n), tiny_catalog, "q")
+        assert QueryCompiler.cache_len() == 3
+
+        table = tiny_catalog.table("S")
+        tiny_catalog.register(ColumnarTable(table.schema, dict(table.columns)))
+        # the first compile after the reload drops every pre-reload entry
+        compiler.compile(_distinct_plan(0), tiny_catalog, "q")
+        assert QueryCompiler.cache_len() == 1
+        assert QueryCompiler.cache_stats.evictions == 3

@@ -1,10 +1,50 @@
-"""Shared fixtures: a tiny two-table catalog and a small TPC-H catalog."""
+"""Shared fixtures: a tiny two-table catalog and a small TPC-H catalog.
+
+Also provides a ``timeout`` marker so hung cancellation paths fail fast: the
+real ``pytest-timeout`` plugin is used when installed (CI installs it); when
+it is absent a SIGALRM-based shim enforces the marked limits locally.
+"""
+import signal
+
 import pytest
 
 from repro.storage.catalog import Catalog
 from repro.storage.layouts import ColumnarTable
 from repro.storage.schema import TableSchema, float_column, int_column, string_column
 from repro.tpch.dbgen import generate_catalog
+
+try:
+    import pytest_timeout  # noqa: F401
+    _HAVE_PYTEST_TIMEOUT = True
+except ImportError:
+    _HAVE_PYTEST_TIMEOUT = False
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers",
+        "timeout(seconds): fail the test if it runs longer than the limit")
+
+
+if not _HAVE_PYTEST_TIMEOUT and hasattr(signal, "SIGALRM"):
+    @pytest.hookimpl(hookwrapper=True)
+    def pytest_runtest_call(item):
+        marker = item.get_closest_marker("timeout")
+        if marker is None or not marker.args:
+            yield
+            return
+        seconds = float(marker.args[0])
+
+        def _trip(signum, frame):
+            raise TimeoutError(f"test exceeded its {seconds}s timeout")
+
+        previous = signal.signal(signal.SIGALRM, _trip)
+        signal.setitimer(signal.ITIMER_REAL, seconds)
+        try:
+            yield
+        finally:
+            signal.setitimer(signal.ITIMER_REAL, 0)
+            signal.signal(signal.SIGALRM, previous)
 
 
 def build_tiny_catalog() -> Catalog:

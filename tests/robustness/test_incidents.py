@@ -1,0 +1,80 @@
+"""Structured incident-log tests: schema, validation, ring-buffer bound."""
+import pytest
+
+from repro.robustness.incidents import CATEGORIES, Incident, IncidentLog
+
+
+class TestReporting:
+    def test_report_returns_a_schema_complete_incident(self):
+        log = IncidentLog(clock=lambda: 123.5)
+        incident = log.report("tier_failure", query="q1", tier="compiled",
+                              cause="EngineFault", message="operator blew up",
+                              elapsed_seconds=0.25, operator="HashJoin")
+        assert isinstance(incident, Incident)
+        assert incident.category == "tier_failure"
+        assert incident.query == "q1"
+        assert incident.tier == "compiled"
+        assert incident.cause == "EngineFault"
+        assert incident.timestamp == 123.5
+        assert incident.detail == {"operator": "HashJoin"}
+        record = incident.as_dict()
+        for field in ("seq", "timestamp", "category", "query", "tier",
+                      "cause", "message", "elapsed_seconds", "detail"):
+            assert field in record
+
+    def test_unknown_category_is_rejected(self):
+        log = IncidentLog()
+        with pytest.raises(ValueError, match="unknown incident category"):
+            log.report("spontaneous_combustion", query="q1")
+
+    def test_sequence_numbers_are_monotonic(self):
+        log = IncidentLog()
+        first = log.report("budget_trip", query="a")
+        second = log.report("budget_trip", query="b")
+        assert second.seq > first.seq
+
+    def test_every_category_is_reportable(self):
+        log = IncidentLog()
+        for category in CATEGORIES:
+            log.report(category, query="q")
+        assert len(log) == len(CATEGORIES)
+
+
+class TestQuerying:
+    def _seeded(self):
+        log = IncidentLog()
+        log.report("tier_failure", query="q1", tier="compiled")
+        log.report("plan_degraded", query="q1", tier="compiled")
+        log.report("tier_failure", query="q2", tier="vectorized")
+        return log
+
+    def test_records_filter_by_category(self):
+        log = self._seeded()
+        assert len(log.records(category="tier_failure")) == 2
+        assert len(log.records(category="plan_degraded")) == 1
+
+    def test_records_filter_by_query(self):
+        log = self._seeded()
+        assert len(log.records(query="q1")) == 2
+        assert [i.tier for i in log.records(category="tier_failure",
+                                            query="q2")] == ["vectorized"]
+
+    def test_last(self):
+        log = self._seeded()
+        assert log.last("tier_failure").query == "q2"
+        assert log.last("circuit_open") is None
+
+    def test_clear(self):
+        log = self._seeded()
+        log.clear()
+        assert len(log) == 0
+        assert list(log) == []
+
+
+class TestRingBuffer:
+    def test_capacity_bounds_retention(self):
+        log = IncidentLog(capacity=3)
+        for n in range(10):
+            log.report("budget_trip", query=f"q{n}")
+        assert len(log) == 3
+        assert [i.query for i in log] == ["q7", "q8", "q9"]
