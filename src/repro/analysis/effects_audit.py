@@ -1,0 +1,185 @@
+"""Effect-declaration audit and optimization-legality checking.
+
+Two responsibilities, both grounded in :mod:`repro.ir.effects`:
+
+* :func:`audit_effects` checks every statement of a program against the
+  *declared* effect of its op — control effects and nested blocks must
+  agree, a writing op must target a symbol (never a constant, and never a
+  symbol the program cannot have allocated), and every op must actually be
+  registered with an effect.
+
+* :func:`audit_transition` takes the program **before** and **after** one
+  optimization pass and proves the pass stayed inside the effect system's
+  legality envelope:
+
+  - every *removed* binding was effectively removable
+    (``Effect.removable_if_unused`` — for control ops the effective effect
+    is the recursive union of their nested blocks, so dropping an ``if_``
+    with pure arms is legal while dropping one whose arm writes is not);
+  - the surviving non-reorderable statements (writes and I/O) appear in the
+    same relative order as before — hoisting and fusion may move pure code
+    freely but must never swap two writes.
+
+The auditor deliberately knows nothing about individual transformations;
+it only trusts the effect declarations.  That is what makes it a check
+*on* the transformations rather than a restatement of them.
+"""
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set
+
+from ..ir import ops as ir_ops
+from ..ir.effects import Effect
+from ..ir.nodes import Const, Expr, Program, Stmt, Sym
+from ..ir.traversal import iter_program_stmts
+from .errors import VerificationError
+from .signatures import signature_of
+
+#: ops whose mutated argument may legitimately be a fresh *parameter* of an
+#: enclosing block (foreach callbacks hand the accumulator in as a param)
+_ALLOCATING_OPS = frozenset(
+    name for name in ir_ops.REGISTRY.names()
+    if ir_ops.effect_of(name).allocates)
+
+
+def _err(message: str,
+         binding: Optional[str] = None) -> VerificationError:
+    return VerificationError(message, check="effects", binding=binding)
+
+
+def effective_effect(expr: Expr) -> Effect:
+    """The observable effect of one expression.
+
+    For straight-line ops this is the registered effect.  For control ops
+    the registered ``CONTROL`` summary (which pessimistically claims reads
+    *and* writes) is replaced by the recursive union over the nested
+    blocks — an ``if_`` whose arms are pure is effectively pure, which is
+    exactly what makes branch-removal passes legal.
+    """
+    declared = ir_ops.effect_of(expr.op)
+    if not declared.control:
+        return declared
+    combined = Effect()
+    for block in expr.blocks:
+        for stmt in block.stmts:
+            combined = combined.union(effective_effect(stmt.expr))
+    return combined
+
+
+# ---------------------------------------------------------------------------
+# Static declaration audit of a single program
+# ---------------------------------------------------------------------------
+def audit_effects(program: Program) -> None:
+    allocated: Set[int] = {param.id for param in program.params}
+    for stmt, _ in iter_program_stmts(program):
+        expr = stmt.expr
+        if not ir_ops.is_registered(expr.op):
+            raise _err(f"op {expr.op!r} has no registered effect",
+                       binding=stmt.sym.name)
+        effect = ir_ops.effect_of(expr.op)
+        if expr.blocks and not effect.control:
+            raise _err(
+                f"op {expr.op} carries nested blocks but its declared "
+                "effect is not control — the optimizer would treat it as "
+                "straight-line code", binding=stmt.sym.name)
+        if effect.control and not expr.blocks:
+            raise _err(
+                f"control op {expr.op} has no nested blocks",
+                binding=stmt.sym.name)
+        signature = signature_of(expr.op)
+        if signature.mutated_arg is not None:
+            _check_mutation_target(stmt, signature.mutated_arg, allocated)
+        if effect.allocates or expr.op in ("malloc", "pool_next"):
+            allocated.add(stmt.sym.id)
+        for block in expr.blocks:
+            # block parameters (loop variables, foreach elements) may be
+            # mutable objects handed in by the runtime
+            for param in block.params:
+                allocated.add(param.id)
+
+
+def _check_mutation_target(stmt: Stmt, index: int, allocated: Set[int]) -> None:
+    expr = stmt.expr
+    if index >= len(expr.args):
+        # arity problems are the type checker's report; skip here
+        return
+    target = expr.args[index]
+    if isinstance(target, Const):
+        raise _err(
+            f"writing op {expr.op} mutates the constant {target.value!r} — "
+            "writes must target an allocated object",
+            binding=stmt.sym.name)
+    if isinstance(target, Sym) and expr.op in ("var_write",) \
+            and target.id not in allocated:
+        raise _err(
+            f"var_write targets {target.name}, which no preceding var_new "
+            "(or parameter) allocated", binding=stmt.sym.name)
+
+
+# ---------------------------------------------------------------------------
+# Before/after legality of one optimization pass
+# ---------------------------------------------------------------------------
+def _stmt_index(program: Program) -> Dict[int, Stmt]:
+    index: Dict[int, Stmt] = {}
+    for stmt, _ in iter_program_stmts(program):
+        index[stmt.sym.id] = stmt
+    return index
+
+
+def _ordered_ids(program: Program) -> List[int]:
+    return [stmt.sym.id for stmt, _ in iter_program_stmts(program)]
+
+
+def audit_transition(before: Program, after: Program,
+                     phase: Optional[str] = None) -> None:
+    """Prove one optimization pass legal under the effect system.
+
+    Raises :class:`VerificationError` (attributed to ``phase``) when the
+    pass removed a non-removable binding or reordered two statements whose
+    effects pin their relative order.
+    """
+    try:
+        _audit_transition(before, after)
+    except VerificationError as exc:
+        raise exc.with_phase(phase) if phase else exc from None
+
+
+def _audit_transition(before: Program, after: Program) -> None:
+    before_index = _stmt_index(before)
+    after_index = _stmt_index(after)
+
+    for sym_id, stmt in before_index.items():
+        if sym_id in after_index:
+            continue
+        effect = effective_effect(stmt.expr)
+        if not effect.removable_if_unused:
+            what = "I/O" if effect.io else "a write"
+            raise _err(
+                f"optimization removed the binding of {stmt.sym.name} "
+                f"({stmt.expr.op}), whose effective effect performs {what} "
+                "— only removable_if_unused bindings may be dropped",
+                binding=stmt.sym.name)
+
+    pinned_before = [
+        sym_id for sym_id in _ordered_ids(before)
+        if sym_id in after_index
+        and not effective_effect(before_index[sym_id].expr)
+        .can_reorder_with_reads]
+    pinned_set = set(pinned_before)
+    pinned_after = [sym_id for sym_id in _ordered_ids(after)
+                    if sym_id in pinned_set]
+    if pinned_before != pinned_after:
+        moved = _first_divergence(pinned_before, pinned_after)
+        name = before_index[moved].sym.name if moved in before_index else "?"
+        raise _err(
+            "optimization reordered non-reorderable statements: the "
+            f"writes/IO around {name} ({before_index[moved].expr.op}) no "
+            "longer execute in their original relative order",
+            binding=name)
+
+
+def _first_divergence(left: List[int], right: List[int]) -> int:
+    for a, b in zip(left, right):
+        if a != b:
+            return a
+    return left[len(right)] if len(left) > len(right) else right[len(left)]

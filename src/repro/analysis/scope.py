@@ -1,0 +1,109 @@
+"""Scope and def-use checking of ANF programs.
+
+ANF's contract is exactly what makes the stack's generic optimizations
+cheap: every sub-expression is bound to a unique immutable symbol, operators
+only take atoms, and a symbol is visible from its binding statement to the
+end of the enclosing block (including nested blocks opened after it).  A
+transformation that breaks this — DCE dropping a live binding, field removal
+leaving a dangling ``record_get``, subplan sharing emitting a use before the
+shared binding — produces a program that may still *unparse* and even run
+(Python resolves names at execution time), which is precisely why it must be
+caught statically instead.
+
+Checked invariants:
+
+* **single assignment** — no symbol is bound by more than one statement or
+  block parameter anywhere in the program;
+* **def before use** — every symbol used as an argument or block result is a
+  program parameter, a hoisted binding (visible to the body), an enclosing
+  block's parameter, or a statement binding that *textually precedes* the
+  use;
+* **no scope escapes** — symbols bound inside a nested block (loop bodies,
+  branch arms) are never referenced after the block closes.
+"""
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Set
+
+from ..ir.nodes import Atom, Block, Program, Sym
+from .errors import VerificationError
+
+
+def _err(message: str, binding: str) -> VerificationError:
+    return VerificationError(message, check="scope", binding=binding)
+
+
+class ScopeChecker:
+    """Checks the def-use discipline of one ANF program."""
+
+    def __init__(self) -> None:
+        #: every symbol id ever bound, for the single-assignment check;
+        #: maps to a human-readable description of the binding site
+        self._bound_once: Dict[int, str] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def check_program(self, program: Program) -> None:
+        self._bound_once = {}
+        scope: Set[int] = set()
+        self._bind_params(program.params, scope, "program parameter")
+        # Hoisted bindings are visible to the body (prepare() exports them).
+        self._check_block(program.hoisted, scope, bind_into=scope,
+                          where="hoisted block")
+        self._check_block(program.body, scope, bind_into=None, where="body")
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _bind_params(self, params: Iterable[Sym], scope: Set[int],
+                     kind: str) -> None:
+        for param in params:
+            self._bind(param, kind)
+            scope.add(param.id)
+
+    def _bind(self, sym: Sym, where: str) -> None:
+        previous = self._bound_once.get(sym.id)
+        if previous is not None:
+            raise _err(
+                f"symbol {sym.name} bound twice: first as {previous}, "
+                f"again as {where} — ANF bindings are single-assignment",
+                binding=sym.name)
+        self._bound_once[sym.id] = where
+
+    def _check_block(self, block: Block, outer: Set[int],
+                     bind_into: Optional[Set[int]], where: str) -> None:
+        """Check one block under the symbols visible from ``outer``.
+
+        ``bind_into`` is the outer scope set to leak bindings into (used for
+        the hoisted block, whose bindings stay visible to the body), or
+        ``None`` for ordinary lexical blocks.
+        """
+        scope = outer if bind_into is not None else set(outer)
+        for stmt in block.stmts:
+            expr = stmt.expr
+            for arg in expr.args:
+                self._check_atom(arg, scope, f"argument of {expr.op} "
+                                             f"(binding {stmt.sym.name}, {where})")
+            for i, nested in enumerate(expr.blocks):
+                nested_scope = set(scope)
+                self._bind_params(nested.params, nested_scope,
+                                  f"parameter of {expr.op} block[{i}]")
+                self._check_block(nested, nested_scope, bind_into=None,
+                                  where=f"{expr.op} block[{i}] of {stmt.sym.name}")
+            self._bind(stmt.sym, f"statement in {where}")
+            scope.add(stmt.sym.id)
+        self._check_atom(block.result, scope, f"result of {where}")
+
+    def _check_atom(self, atom: Atom, scope: Set[int], use: str) -> None:
+        if isinstance(atom, Sym) and atom.id not in scope:
+            raise _err(
+                f"symbol {atom.name} used before (or without) its definition "
+                f"as {use}; it is not a parameter, not a hoisted binding, and "
+                "no preceding statement in an enclosing scope binds it",
+                binding=atom.name)
+
+
+def check_scopes(program: Program) -> None:
+    """Module-level convenience wrapper around :class:`ScopeChecker`."""
+    ScopeChecker().check_program(program)

@@ -1,0 +1,195 @@
+"""Static signatures of every registered IR operation.
+
+:mod:`repro.ir.ops` declares *what* an op is (name, effect, block count);
+this module declares *how it is applied*: argument arity, the static
+attributes the unparser and the lowerings rely on, the parameter count of
+each nested block, and which argument (if any) is the mutable object a
+writing op updates in place.  The type checker and the effect auditor
+consume these instead of re-deriving per-op facts, and a completeness test
+asserts that every op of the registry has a signature — adding an op
+without declaring its shape is itself a verification failure.
+"""
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..ir import ops as ir_ops
+
+
+@dataclass(frozen=True)
+class OpSignature:
+    """The statically checkable application shape of one IR op.
+
+    Attributes:
+        name: op name (must be registered in :mod:`repro.ir.ops`).
+        n_args: exact argument count, or ``None`` for variadic ops (then
+            ``min_args`` applies).
+        min_args: minimum argument count for variadic ops.
+        required_attrs: attribute keys that must be present (the unparser
+            would ``KeyError`` without them).
+        block_params: expected parameter count of each nested block, or
+            ``None`` when the op carries no blocks.
+        mutated_arg: index of the argument mutated in place by a writing op,
+            or ``None``.  The effect auditor requires that argument to be a
+            symbol bound to a mutable object, never a constant.
+        category: coarse typing family used by the type checker
+            (``"arith"``, ``"compare"``, ``"logic"``, ``"string"``, ...).
+    """
+
+    name: str
+    n_args: Optional[int] = None
+    min_args: int = 0
+    required_attrs: Tuple[str, ...] = ()
+    block_params: Optional[Tuple[int, ...]] = None
+    mutated_arg: Optional[int] = None
+    category: str = "generic"
+
+
+_SIGNATURES: Dict[str, OpSignature] = {}
+
+
+def _sig(name: str, n_args: Optional[int] = None, *, min_args: int = 0,
+         attrs: Tuple[str, ...] = (), blocks: Optional[Tuple[int, ...]] = None,
+         mutated: Optional[int] = None, category: str = "generic") -> None:
+    if name in _SIGNATURES:
+        raise ValueError(f"signature for op {name!r} declared twice")
+    if name not in ir_ops.REGISTRY:
+        raise ValueError(f"signature for unregistered op {name!r}")
+    opdef = ir_ops.REGISTRY.get(name)
+    declared_blocks = 0 if blocks is None else len(blocks)
+    if opdef.n_blocks is not None and opdef.n_blocks != declared_blocks:
+        raise ValueError(
+            f"signature for {name!r} declares {declared_blocks} block(s), "
+            f"the op registry declares {opdef.n_blocks}")
+    _SIGNATURES[name] = OpSignature(name, n_args, min_args=min_args,
+                                    required_attrs=attrs, block_params=blocks,
+                                    mutated_arg=mutated, category=category)
+
+
+# -- pure scalar ops --------------------------------------------------------
+for _name in ("add", "sub", "mul", "div", "mod", "min2", "max2"):
+    _sig(_name, 2, category="arith")
+_sig("neg", 1, category="arith")
+for _name in ir_ops.COMPARISON_OPS:
+    _sig(_name, 2, category="compare")
+for _name in ("and_", "or_", "band", "bor"):
+    _sig(_name, 2, category="logic")
+_sig("not_", 1, category="logic")
+_sig("to_float", 1, category="convert")
+_sig("to_int", 1, category="convert")
+_sig("year_of_date", 1, category="convert")
+
+# -- strings ----------------------------------------------------------------
+_sig("str_contains", 2, category="string")
+_sig("str_startswith", 2, category="string")
+_sig("str_endswith", 2, category="string")
+_sig("str_like", 1, attrs=("pattern",), category="string")
+_sig("str_length", 1, category="string")
+_sig("str_substr", 1, attrs=("start", "length"), category="string")
+_sig("str_in", 1, attrs=("values",), category="string")
+
+# -- tuples -----------------------------------------------------------------
+_sig("tuple_new", None, category="tuple")
+_sig("tuple_get", 1, attrs=("index",), category="tuple")
+
+# -- control flow -----------------------------------------------------------
+_sig("if_", 1, blocks=(0, 0), category="control")
+_sig("for_range", 2, blocks=(1,), category="control")
+_sig("while_", 0, blocks=(0, 0), category="control")
+
+# -- mutable variables ------------------------------------------------------
+_sig("var_new", 1, category="var")
+_sig("var_read", 1, category="var")
+_sig("var_write", 2, mutated=0, category="var")
+
+# -- records ----------------------------------------------------------------
+_sig("record_new", None, attrs=("fields",), category="record")
+_sig("record_get", 1, attrs=("field",), category="record")
+
+# -- arrays -----------------------------------------------------------------
+_sig("array_new", 1, category="array")
+_sig("array_get", 2, category="array")
+_sig("array_set", 3, mutated=0, category="array")
+_sig("array_len", 1, category="array")
+
+# -- lists ------------------------------------------------------------------
+_sig("list_new", 0, category="list")
+_sig("list_append", 2, mutated=0, category="list")
+_sig("list_foreach", 1, blocks=(1,), category="control")
+_sig("list_len", 1, category="list")
+_sig("list_get", 2, category="list")
+_sig("list_clear", 1, mutated=0, category="list")
+_sig("list_sort_by_fields", 1, attrs=("keys",), category="list")
+_sig("list_sort_by_index", 1, attrs=("keys",), category="list")
+_sig("list_take", 2, category="list")
+
+# -- generic hash containers ------------------------------------------------
+_sig("mmap_new", 0, category="map")
+_sig("mmap_add", 3, mutated=0, category="map")
+_sig("mmap_get", 2, category="map")
+_sig("hashmap_agg_new", 0, attrs=("aggs",), category="map")
+_sig("hashmap_agg_update", None, min_args=2, mutated=0, category="map")
+_sig("hashmap_agg_foreach", 1, blocks=(2,), category="control")
+_sig("set_new", 0, category="map")
+_sig("set_add", 2, mutated=0, category="map")
+_sig("set_contains", 2, category="map")
+_sig("set_len", 1, category="map")
+
+# -- database access --------------------------------------------------------
+_sig("table_size", 1, attrs=("table",), category="db")
+_sig("table_column", 1, attrs=("table", "column"), category="db")
+
+# -- specialised structures -------------------------------------------------
+_sig("index_build_multi", 1, attrs=("table", "column", "lo", "hi"),
+     category="index")
+_sig("index_get_multi", 2, category="index")
+_sig("index_build_unique", 1, attrs=("table", "column", "lo", "hi"),
+     category="index")
+_sig("index_get_unique", 2, category="index")
+_sig("dense_agg_new", 1, attrs=("aggs",), category="map")
+_sig("dense_agg_update", None, min_args=2, mutated=0, category="map")
+_sig("dense_agg_foreach", 1, blocks=(2,), category="control")
+_sig("strdict_build", 1, category="strdict")
+_sig("strdict_encode_column", 2, category="strdict")
+_sig("strdict_code", 2, category="strdict")
+_sig("strdict_prefix_range", 2, category="strdict")
+
+# -- catalog-resident access layer ------------------------------------------
+_sig("access_key_index", 1, attrs=("table", "column"), category="access")
+_sig("access_index_lookup", 2, category="access")
+_sig("access_pruned_indices", 1, attrs=("table", "filters"), category="access")
+_sig("access_strdict", 1, attrs=("table", "column"), category="access")
+_sig("access_strdict_codes", 1, attrs=("table", "column"), category="access")
+_sig("access_prefix_range", 2, category="access")
+
+# -- explicit memory (C.Py) -------------------------------------------------
+_sig("malloc", 0, category="memory")
+_sig("free", 1, mutated=0, category="memory")
+_sig("pool_new", 1, category="memory")
+_sig("pool_next", 1, mutated=0, category="memory")
+_sig("ptr_field_get", 1, attrs=("field",), category="memory")
+_sig("ptr_field_set", 2, attrs=("field",), mutated=0, category="memory")
+
+# -- output -----------------------------------------------------------------
+_sig("emit_row", 2, mutated=0, category="output")
+_sig("print_", 1, category="output")
+
+
+def signature_of(op_name: str) -> OpSignature:
+    """Signature of a registered op (``KeyError`` for unknown ops)."""
+    try:
+        return _SIGNATURES[op_name]
+    except KeyError:
+        raise KeyError(
+            f"no static signature declared for IR op {op_name!r}; "
+            "add one in repro.analysis.signatures") from None
+
+
+def has_signature(op_name: str) -> bool:
+    return op_name in _SIGNATURES
+
+
+def undeclared_ops() -> Tuple[str, ...]:
+    """Registered ops without a signature (must stay empty; see tests)."""
+    return tuple(sorted(ir_ops.REGISTRY.names() - set(_SIGNATURES)))

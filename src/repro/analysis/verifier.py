@@ -1,0 +1,78 @@
+"""Facade over the four verifiers, used by the stack pipeline and the CLI.
+
+Everything raises :class:`~repro.analysis.errors.VerificationError`, and
+every entry point takes a ``phase`` so a failure is attributed to the
+transformation that produced the bad program — the difference between
+"query 19 is wrong" and "``DeadCodeElimination[ScaLite]`` dropped a live
+binding".
+"""
+from __future__ import annotations
+
+from typing import Any, Optional
+
+from ..ir.nodes import Program
+from .codelint import lint_source
+from .effects_audit import audit_effects, audit_transition
+from .errors import VerificationError
+from .scope import check_scopes
+from .typecheck import check_types
+
+
+def _attributed(exc: VerificationError,
+                phase: Optional[str]) -> VerificationError:
+    return exc.with_phase(phase) if phase else exc
+
+
+def check_language(program: Any, language: Any,
+                   phase: Optional[str] = None) -> None:
+    """Check the op vocabulary of ``program`` against one stack language.
+
+    Wraps :meth:`repro.stack.language.Language.validate` so vocabulary
+    violations surface as phase-attributed :class:`VerificationError`
+    like every other check.
+    """
+    from ..stack.language import LanguageError
+    try:
+        language.validate(program)
+    except LanguageError as exc:
+        raise _attributed(
+            VerificationError(str(exc), check="language"), phase) from None
+
+
+def verify_program(program: Program, *, language: Any = None,
+                   catalog: Any = None,
+                   phase: Optional[str] = None) -> None:
+    """Run the full static battery over one ANF program.
+
+    Scope/def-use discipline, op signatures and type consistency (with
+    schema resolution when a ``catalog`` is given), effect-declaration
+    audit, and — when a ``language`` is given — the vocabulary check.
+    """
+    if not isinstance(program, Program):
+        raise _attributed(VerificationError(
+            f"expected an ANF program, got {type(program).__name__}"),
+            phase)
+    try:
+        check_scopes(program)
+        check_types(program, catalog)
+        audit_effects(program)
+    except VerificationError as exc:
+        raise _attributed(exc, phase) from None
+    if language is not None and getattr(language, "kind", "anf") == "anf":
+        check_language(program, language, phase=phase)
+
+
+def audit_optimization(before: Any, after: Any,
+                       phase: Optional[str] = None) -> None:
+    """Before/after legality audit of one optimization pass.
+
+    Tree-level passes (QPlan/QMonad rewrites) are validated by the planner;
+    this audit applies only when both sides are ANF programs.
+    """
+    if isinstance(before, Program) and isinstance(after, Program):
+        audit_transition(before, after, phase=phase)
+
+
+def verify_source(source: str, phase: Optional[str] = None) -> None:
+    """Lint generated Python source before it is ``exec``'d."""
+    lint_source(source, phase=phase)

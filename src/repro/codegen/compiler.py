@@ -128,9 +128,18 @@ class QueryCompiler:
     #: maximum live entries; configurable via :meth:`set_cache_capacity`
     cache_capacity: int = 512
 
-    def __init__(self, stack: DslStack, flags: Optional[OptimizationFlags] = None) -> None:
+    def __init__(self, stack: DslStack, flags: Optional[OptimizationFlags] = None,
+                 verify: bool = False) -> None:
+        """``verify=True`` runs the :mod:`repro.analysis` battery during every
+        compile: each transformation's output is scope/type/effect-checked,
+        each optimization pass is audited for effect-system legality, and the
+        generated Python is linted before ``exec``.  Verified compiles bypass
+        the process-wide cache in both directions — a cached unverified entry
+        must not satisfy a verifying compile, and verification runs must not
+        mask cache-path bugs by polluting the cache."""
         self.stack = stack
         self.flags = flags if flags is not None else OptimizationFlags()
+        self.verify = verify
 
     # ------------------------------------------------------------------
     # Cache management
@@ -201,7 +210,17 @@ class QueryCompiler:
                 # validates both the raw and the optimized plan and memoizes
                 # by raw fingerprint, keeping repeated compiles cheap.
                 from ..planner import Planner
-                plan = Planner.for_catalog(catalog).optimize(plan)
+                if self.verify:
+                    # A verifying compile also verifies the plan rewrites:
+                    # every rule application re-validates the plan, and the
+                    # shared memoizing planner is bypassed so a cached
+                    # unverified optimization cannot satisfy this compile.
+                    from ..planner import PlannerOptions
+                    plan = Planner(
+                        catalog,
+                        PlannerOptions(validate_rewrites=True)).optimize(plan)
+                else:
+                    plan = Planner.for_catalog(catalog).optimize(plan)
             else:
                 Q.validate(plan, catalog)
             source = QPLAN
@@ -209,7 +228,7 @@ class QueryCompiler:
             raise CompilerError(
                 f"expected a QPlan operator or a QueryMonad chain, got {type(plan).__name__}")
 
-        key = self._cache_key(plan, catalog, query_name)
+        key = None if self.verify else self._cache_key(plan, catalog, query_name)
         if key is not None:
             entry = QueryCompiler._cache.get(key)
             if entry is not None:
@@ -227,13 +246,18 @@ class QueryCompiler:
         context = CompilationContext(catalog=catalog, flags=self.flags,
                                      query_name=query_name)
         start = time.perf_counter()
-        result: CompilationResult = self.stack.compile(plan, source, context)
+        result: CompilationResult = self.stack.compile(plan, source, context,
+                                                      verify=self.verify,
+                                                      catalog=catalog if self.verify else None)
         program = result.program
         if not isinstance(program, Program):
             raise CompilerError(
                 f"stack {self.stack.name!r} did not produce an ANF program "
                 f"(got {type(program).__name__}); is the lowering chain complete?")
         source = PythonUnparser(query_name).unparse(program)
+        if self.verify:
+            from ..analysis import verify_source
+            verify_source(source, phase=f"unparse[{query_name}]")
         generation_seconds = time.perf_counter() - start
         # Injected slow-compile penalty: deterministic extra seconds charged
         # as if the staged lowering had taken that long (no real sleeping).

@@ -251,7 +251,8 @@ def compile_columnar(expr: E.Expr) -> Callable[[Dict[str, Sequence], Sequence[in
     return _cached(("columnar", expr_fingerprint(expr)), build)
 
 
-def compile_columnar_predicate(expr: E.Expr) -> Callable[[Dict[str, Sequence], Sequence[int]], List[int]]:
+def compile_columnar_predicate(
+        expr: E.Expr) -> Callable[[Dict[str, Sequence], Sequence[int]], List[int]]:
     """Compile to ``fn(columns, sel) -> selection`` keeping passing indices."""
     def build() -> Callable:
         emitter = _Emitter()

@@ -437,6 +437,12 @@ def output_fields(plan: Operator, catalog,
 def _output_fields(plan: Operator, catalog,
                    memo: Optional[Dict[int, List[str]]]) -> List[str]:
     if isinstance(plan, Scan):
+        # Resolve the table before anything else so an unknown table surfaces
+        # as a PlanError from validate()/output_fields() rather than a
+        # storage-layer SchemaError escaping through plan analysis — and so
+        # it is reported even for scans with an explicit field list.
+        if not catalog.schema.has_table(plan.table):
+            raise PlanError(f"scan of unknown table {plan.table!r}")
         if plan.fields is not None:
             return list(plan.fields)
         return catalog.schema.table(plan.table).column_names()
@@ -587,6 +593,10 @@ def validate(plan: Operator, catalog) -> None:
                 raise PlanError(
                     f"{node.describe()}: build side scans {scan.table!r}, "
                     f"not the indexed table {node.index_table!r}")
+            if not catalog.schema.has_table(node.index_table):
+                raise PlanError(
+                    f"{node.describe()}: unknown indexed table "
+                    f"{node.index_table!r}")
             if not catalog.schema.table(node.index_table).has_column(node.index_column):
                 raise PlanError(
                     f"{node.describe()}: unknown index column "

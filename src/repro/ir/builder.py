@@ -10,7 +10,8 @@ expression has already been emitted in a visible scope.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Any, Dict, List, Optional, Sequence, Tuple, Union
+from typing import (Any, Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple, Union)
 
 from . import ops as op_registry
 from .nodes import Atom, Block, Const, Expr, Program, Stmt, Sym, is_atom
@@ -98,7 +99,8 @@ class IRBuilder:
     # ------------------------------------------------------------------
     @contextmanager
     def new_block(self, params: Union[int, Sequence[Sym]] = 0,
-                  hints: Sequence[str] = (), types: Sequence[Type] = ()):
+                  hints: Sequence[str] = (),
+                  types: Sequence[Type] = ()) -> Iterator[Tuple[Block, Tuple[Sym, ...]]]:
         """Open a nested block (loop body, branch arm, lambda body).
 
         Yields ``(block, params)``; the block must be finished by setting its
@@ -135,7 +137,8 @@ class IRBuilder:
     # ------------------------------------------------------------------
     # Convenience wrappers used heavily by the lowerings
     # ------------------------------------------------------------------
-    def if_(self, cond: Any, then_fn, else_fn=None, tpe: Type = UNIT) -> Sym:
+    def if_(self, cond: Any, then_fn: Callable[[], Any],
+            else_fn: Optional[Callable[[], Any]] = None, tpe: Type = UNIT) -> Sym:
         """Emit a conditional; the branch functions receive this builder."""
         with self.new_block() as (then_block, _):
             result = then_fn()
@@ -148,13 +151,14 @@ class IRBuilder:
                     self.set_result(result)
         return self.emit("if_", [cond], blocks=[then_block, else_block], tpe=tpe)
 
-    def for_range(self, start: Any, end: Any, body_fn, hint: str = "i") -> Sym:
+    def for_range(self, start: Any, end: Any, body_fn: Callable[[Sym], Any],
+                  hint: str = "i") -> Sym:
         """Emit a bounded loop; ``body_fn`` receives the index symbol."""
         with self.new_block(params=1, hints=[hint], types=[INT]) as (body, (idx,)):
             body_fn(idx)
         return self.emit("for_range", [start, end], blocks=[body], tpe=UNIT)
 
-    def while_(self, cond_fn, body_fn) -> Sym:
+    def while_(self, cond_fn: Callable[[], Any], body_fn: Callable[[], Any]) -> Sym:
         """Emit a while loop; the condition block result is the loop condition."""
         with self.new_block() as (cond_block, _):
             self.set_result(cond_fn())
@@ -162,7 +166,7 @@ class IRBuilder:
             body_fn()
         return self.emit("while_", [], blocks=[cond_block, body_block], tpe=UNIT)
 
-    def foreach(self, collection: Any, body_fn, op: str = "list_foreach",
+    def foreach(self, collection: Any, body_fn: Callable[[Sym], Any], op: str = "list_foreach",
                 hint: str = "e", tpe: Type = UNKNOWN) -> Sym:
         """Emit a foreach over a list-like collection."""
         with self.new_block(params=1, hints=[hint], types=[tpe]) as (body, (elem,)):

@@ -152,7 +152,7 @@ class Expr:
         return f"{self.op}({inner}){suffix}"
 
 
-def _hashable(value: Any):
+def _hashable(value: Any) -> Any:
     """Best-effort conversion of attribute values to hashable keys."""
     if isinstance(value, (list, tuple)):
         return tuple(_hashable(v) for v in value)

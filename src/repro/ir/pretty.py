@@ -78,7 +78,8 @@ def fingerprint(program: Program) -> str:
             expr = stmt.expr
             attrs = ";".join(f"{k}={v!r}" for k, v in sorted(expr.attrs.items()))
             nested = "|".join(norm_block(b) for b in expr.blocks)
-            parts.append(f"{norm_atom(stmt.sym)}={expr.op}({','.join(norm_atom(a) for a in expr.args)};{attrs};{nested})")
+            args = ",".join(norm_atom(a) for a in expr.args)
+            parts.append(f"{norm_atom(stmt.sym)}={expr.op}({args};{attrs};{nested})")
         parts.append("->" + norm_atom(block.result))
         return "\n".join(parts)
 

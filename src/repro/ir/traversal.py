@@ -12,6 +12,7 @@ from typing import Callable, Dict, Iterable, Iterator, List, Optional, Set, Tupl
 from . import ops as op_registry
 from .effects import Effect
 from .nodes import Atom, Block, Expr, Program, Stmt, Sym
+from .types import Type
 
 
 def iter_stmts(block: Block, recursive: bool = True) -> Iterator[Tuple[Stmt, Block]]:
@@ -122,7 +123,8 @@ class BlockRewriter:
 
     # -- emission API available to rewrite callbacks -----------------------
     def emit(self, op: str, args: Iterable[Atom] = (), attrs: Optional[dict] = None,
-             blocks: Tuple[Block, ...] = (), tpe=None, hint: str = "x") -> Sym:
+             blocks: Tuple[Block, ...] = (), tpe: Optional[Type] = None,
+             hint: str = "x") -> Sym:
         from .types import UNKNOWN
         result_type = tpe if tpe is not None else UNKNOWN
         sym = Sym(hint, result_type)
@@ -173,7 +175,8 @@ class BlockRewriter:
         return Block(stmts, substitute_atom(block.result, self._mapping), block.params)
 
 
-def rewrite_program(program: Program, rewrite: RewriteFn, language: Optional[str] = None) -> Program:
+def rewrite_program(program: Program, rewrite: RewriteFn,
+                    language: Optional[str] = None) -> Program:
     """Convenience wrapper: rewrite a whole program with a statement callback."""
     result = BlockRewriter(rewrite).rewrite_program(program)
     if language is not None:

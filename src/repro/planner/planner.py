@@ -66,6 +66,11 @@ class PlannerOptions:
     #: physical access-path selection (PrunedScan, IndexJoin): order- and
     #: value-preserving, so it stays on even under ``exact_order()``
     access_paths: bool = True
+    #: re-validate the plan after every individual rule application, naming
+    #: the offending rule in a phase-attributed
+    #: :class:`~repro.analysis.VerificationError` (the planner half of the
+    #: compiler's ``verify`` mode; off by default — it is O(rules × plan))
+    validate_rewrites: bool = False
     max_iterations: int = 8
 
     @classmethod

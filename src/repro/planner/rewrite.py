@@ -81,9 +81,27 @@ class RewriteReport:
 _MAX_LOCAL_APPLICATIONS = 1000
 
 
+def _validate_rewrite(plan: Q.Operator, rule: PlanRule,
+                      context: PlannerContext) -> None:
+    """Re-validate a plan right after one rule application.
+
+    Enabled by ``PlannerOptions.validate_rewrites``: instead of learning at
+    the end of the run that *some* rule broke the plan, the offending rule is
+    named in a phase-attributed verification error the moment it fires.
+    """
+    try:
+        Q.validate(plan, context.catalog)
+    except Exception as exc:
+        from ..analysis import VerificationError
+        raise VerificationError(
+            f"plan rewrite produced an invalid plan: {exc}",
+            check="plan", phase=rule.name) from exc
+
+
 def rewrite_sweep(plan: Q.Operator, rules: Sequence[PlanRule],
                   context: PlannerContext) -> Q.Operator:
     """One top-down sweep: apply every rule at every node (parents first)."""
+    validate_each = bool(getattr(context.options, "validate_rewrites", False))
     for rule in rules:
         for _ in range(_MAX_LOCAL_APPLICATIONS):
             rewritten = rule.apply(plan, context)
@@ -92,6 +110,8 @@ def rewrite_sweep(plan: Q.Operator, rules: Sequence[PlanRule],
             context.record(rule.name)
             context.field_memo.clear()
             plan = rewritten
+            if validate_each:
+                _validate_rewrite(plan, rule, context)
         else:
             # only a rule that keeps firing past the bound is runaway; a
             # legal plan that needed exactly the bound has reached None here

@@ -14,7 +14,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
 from .context import CompilationContext
-from .language import Language, LanguageError
+from .language import Language
 from .transformation import Lowering, Optimization, apply_fixpoint
 
 
@@ -179,13 +179,24 @@ class DslStack:
     # ------------------------------------------------------------------
     def compile(self, program, source: Language,
                 context: Optional[CompilationContext] = None,
-                validate_levels: bool = True) -> CompilationResult:
+                validate_levels: bool = True, verify: bool = False,
+                catalog=None) -> CompilationResult:
         """Push ``program`` from ``source`` down to the stack's target language.
 
         At every level the enabled optimizations are applied to a fixed point,
         then the unique lowering out of that level translates the program one
         level down.  The per-phase timings collected in the result are the
         data behind Figure 9 (code generation time).
+
+        With ``verify=True`` the static-analysis battery of
+        :mod:`repro.analysis` runs after **every** transformation — each
+        optimization pass is audited against the effect system
+        (before/after legality) and each intermediate program is scope-,
+        type- and vocabulary-checked, with failures raised as
+        phase-attributed :class:`~repro.analysis.VerificationError`.  A
+        ``catalog`` additionally resolves table/column attributes against
+        the schema.  The default path (``verify=False``) installs no hooks
+        and pays nothing.
         """
         if source not in self.languages:
             raise StackValidationError(f"{source.name} is not part of stack {self.name!r}")
@@ -193,19 +204,34 @@ class DslStack:
         result = CompilationResult(program=program, language=source)
         current_language = source
         current_program = program
+        observer = None
+        verify_state = {"language": source}
+        if verify:
+            from ..analysis import audit_optimization, verify_program
+
+            def observer(opt, before, after):
+                language = verify_state["language"]
+                phase = f"{opt.name}[{language.name}]"
+                audit_optimization(before, after, phase=phase)
+                if language.kind == "anf":
+                    verify_program(after, language=language,
+                                   catalog=catalog, phase=phase)
 
         while True:
+            verify_state["language"] = current_language
             optimizations = [opt for opt in self.optimizations_for(current_language)
                              if opt.applies(context)]
             if optimizations:
                 start = time.perf_counter()
-                current_program, report = apply_fixpoint(optimizations, current_program, context)
+                current_program, report = apply_fixpoint(optimizations, current_program, context,
+                                                         observer=observer)
                 result.phases.append(PhaseResult(
                     name=f"optimize[{current_language.name}]",
                     kind="optimization-fixpoint",
                     language=current_language.name,
                     seconds=time.perf_counter() - start,
-                    detail=f"{report.iterations} iteration(s): {', '.join(sorted(set(report.applied)))}"))
+                    detail=(f"{report.iterations} iteration(s): "
+                            f"{', '.join(sorted(set(report.applied)))}")))
 
             lowering = self.lowering_from(current_language)
             if lowering is None:
@@ -218,13 +244,20 @@ class DslStack:
                 language=lowering.target.name, seconds=seconds,
                 detail=f"{current_language.name} -> {lowering.target.name}"))
             current_language = lowering.target
-            if validate_levels and current_language.kind == "anf":
+            if (validate_levels or verify) and current_language.kind == "anf":
+                from ..analysis import VerificationError, check_language
                 try:
-                    current_language.validate(current_program)
-                except LanguageError as exc:
+                    check_language(current_program, current_language,
+                                   phase=lowering.name)
+                except VerificationError as exc:
                     raise StackValidationError(
-                        f"after {lowering.name}, program is not valid {current_language.name}: {exc}"
+                        f"after {lowering.name}, program is not valid "
+                        f"{current_language.name}: {exc.detail}"
                     ) from exc
+            if verify and current_language.kind == "anf":
+                from ..analysis import verify_program
+                verify_program(current_program, catalog=catalog,
+                               phase=lowering.name)
 
         result.program = current_program
         result.language = current_language

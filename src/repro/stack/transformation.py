@@ -135,12 +135,17 @@ def program_fingerprint(program) -> str:
 
 
 def apply_fixpoint(optimizations: Sequence[Optimization], program,
-                   context: CompilationContext, max_iterations: int = 8) -> tuple:
+                   context: CompilationContext, max_iterations: int = 8,
+                   observer: Optional[Callable] = None) -> tuple:
     """Apply ``optimizations`` repeatedly until the program stops changing.
 
     Returns ``(program, report)``.  A hard iteration bound guards against
     non-terminating optimization sets (the "special care" footnote of the
     paper); hitting the bound is reported rather than silently accepted.
+
+    ``observer``, when given, is called as ``observer(opt, before, after)``
+    after every individual pass — the hook the verifier uses to audit each
+    transformation in isolation.  The default path pays no cost for it.
     """
     report = FixpointReport(language=optimizations[0].source.name if optimizations else "")
     if not optimizations:
@@ -154,10 +159,13 @@ def apply_fixpoint(optimizations: Sequence[Optimization], program,
             if not opt.applies(context):
                 continue
             start = time.perf_counter()
+            before = program
             program = opt.run(program, context)
             context.record_phase(opt.name, "optimization", time.perf_counter() - start,
                                  detail=opt.source.name)
             report.applied.append(opt.name)
+            if observer is not None:
+                observer(opt, before, program)
         current = program_fingerprint(program)
         if current == previous:
             report.reached_fixpoint = True

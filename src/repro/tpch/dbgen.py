@@ -146,7 +146,8 @@ class TpchGenerator:
     def _phone(self, nation_key: int) -> str:
         rng = self._rng
         country = 10 + nation_key
-        return f"{country}-{rng.randint(100, 999)}-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}"
+        return (f"{country}-{rng.randint(100, 999)}"
+                f"-{rng.randint(100, 999)}-{rng.randint(1000, 9999)}")
 
     # ------------------------------------------------------------------
     # Table generators

@@ -1,0 +1,150 @@
+"""Unit tests for the effect auditor: declarations and pass legality."""
+import pytest
+
+from repro.analysis import VerificationError
+from repro.analysis.effects_audit import (audit_effects, audit_transition,
+                                          effective_effect)
+from repro.ir import IRBuilder, make_program
+from repro.ir.nodes import Block, Const, Expr, Stmt, Sym
+from repro.ir.types import INT
+
+
+def program_of(stmts, result, params=None):
+    params = params if params is not None else [Sym("db")]
+    return make_program(Block(list(stmts), result), params, "scalite")
+
+
+def writer_program():
+    """list_new; loop { list_append }; return the list."""
+    b = IRBuilder()
+    db = Sym("db")
+    out = b.emit("list_new", [])
+    n = b.emit("table_size", [db], attrs={"table": "R"})
+
+    def body(i):
+        b.emit("list_append", [out, i])
+
+    b.for_range(0, n, body)
+    return make_program(b.finish(out), [db], "scalite"), out
+
+
+class TestEffectiveEffect:
+    def test_plain_op_uses_registered_effect(self):
+        assert effective_effect(Expr("add", (Const(1), Const(2)))).pure
+        assert effective_effect(Expr("list_append", ())).writes
+
+    def test_control_with_pure_arms_is_effectively_pure(self):
+        then = Block([Stmt(Sym("a", INT), Expr("add", (Const(1), Const(2))))])
+        other = Block([])
+        expr = Expr("if_", (Const(True),), blocks=(then, other))
+        assert effective_effect(expr).removable_if_unused
+
+    def test_control_with_writing_arm_is_not_removable(self):
+        lst = Sym("lst")
+        then = Block([Stmt(Sym("a"), Expr("list_append", (lst, Const(1))))])
+        expr = Expr("if_", (Const(True),), blocks=(then, Block([])))
+        assert not effective_effect(expr).removable_if_unused
+
+    def test_nested_control_effects_propagate(self):
+        lst = Sym("lst")
+        inner = Expr("if_", (Const(True),), blocks=(
+            Block([Stmt(Sym("a"), Expr("list_append", (lst, Const(1))))]),
+            Block([])))
+        outer = Expr("for_range", (Const(0), Const(3)), blocks=(
+            Block([Stmt(Sym("b"), inner)], params=(Sym("i", INT),)),))
+        assert effective_effect(outer).writes
+
+
+class TestDeclarationAudit:
+    def test_clean_program_passes(self):
+        program, _ = writer_program()
+        audit_effects(program)
+
+    def test_write_to_constant_rejected(self):
+        stmt = Stmt(Sym("w"), Expr("list_append", (Const(3), Const(1))))
+        with pytest.raises(VerificationError, match="mutates the constant"):
+            audit_effects(program_of([stmt], stmt.sym))
+
+    def test_var_write_without_var_new_rejected(self):
+        ghost = Sym("ghost")
+        stmt = Stmt(Sym("w"), Expr("var_write", (ghost, Const(1))))
+        with pytest.raises(VerificationError, match="no preceding var_new"):
+            audit_effects(program_of([stmt], stmt.sym))
+
+    def test_control_op_without_blocks_rejected(self):
+        stmt = Stmt(Sym("c"), Expr("for_range", (Const(0), Const(3))))
+        with pytest.raises(VerificationError, match="no nested blocks"):
+            audit_effects(program_of([stmt], stmt.sym))
+
+
+class TestTransitionAudit:
+    def test_identity_passes(self):
+        program, _ = writer_program()
+        audit_transition(program, program, phase="noop")
+
+    def test_removing_pure_binding_is_legal(self):
+        db = Sym("db")
+        dead = Stmt(Sym("dead", INT), Expr("add", (Const(1), Const(2))))
+        keep = Stmt(Sym("keep", INT), Expr("add", (Const(3), Const(4))))
+        before = program_of([dead, keep], keep.sym, [db])
+        after = program_of([keep], keep.sym, [db])
+        audit_transition(before, after, phase="dce")
+
+    def test_removing_write_rejected_with_phase(self):
+        db = Sym("db")
+        lst = Stmt(Sym("lst"), Expr("list_new", ()))
+        write = Stmt(Sym("w"), Expr("list_append", (lst.sym, Const(1))))
+        before = program_of([lst, write], lst.sym, [db])
+        after = program_of([lst], lst.sym, [db])
+        with pytest.raises(VerificationError) as exc:
+            audit_transition(before, after, phase="dce[ScaLite]")
+        assert exc.value.phase == "dce[ScaLite]"
+        assert "only removable_if_unused" in str(exc.value)
+
+    def test_removing_if_with_writing_arm_rejected(self):
+        db = Sym("db")
+        lst = Stmt(Sym("lst"), Expr("list_new", ()))
+        arm = Block([Stmt(Sym("a"), Expr("list_append", (lst.sym, Const(1))))])
+        branch = Stmt(Sym("br"), Expr("if_", (Const(True),),
+                                      blocks=(arm, Block([]))))
+        before = program_of([lst, branch], lst.sym, [db])
+        after = program_of([lst], lst.sym, [db])
+        with pytest.raises(VerificationError, match="removable"):
+            audit_transition(before, after, phase="branchless-booleans")
+
+    def test_removing_if_with_pure_arms_is_legal(self):
+        db = Sym("db")
+        keep = Stmt(Sym("keep", INT), Expr("add", (Const(1), Const(2))))
+        arm = Block([Stmt(Sym("a", INT), Expr("add", (Const(5), Const(6))))])
+        branch = Stmt(Sym("br"), Expr("if_", (Const(True),),
+                                      blocks=(arm, Block([]))))
+        before = program_of([keep, branch], keep.sym, [db])
+        after = program_of([keep], keep.sym, [db])
+        audit_transition(before, after, phase="branchless-booleans")
+
+    def test_reordering_writes_rejected(self):
+        db = Sym("db")
+        lst = Stmt(Sym("lst"), Expr("list_new", ()))
+        first = Stmt(Sym("w1"), Expr("list_append", (lst.sym, Const(1))))
+        second = Stmt(Sym("w2"), Expr("list_append", (lst.sym, Const(2))))
+        before = program_of([lst, first, second], lst.sym, [db])
+        after = program_of([lst, second, first], lst.sym, [db])
+        with pytest.raises(VerificationError, match="reordered"):
+            audit_transition(before, after, phase="hoisting")
+
+    def test_moving_pure_code_across_writes_is_legal(self):
+        db = Sym("db")
+        lst = Stmt(Sym("lst"), Expr("list_new", ()))
+        write = Stmt(Sym("w"), Expr("list_append", (lst.sym, Const(1))))
+        pure = Stmt(Sym("p", INT), Expr("add", (Const(1), Const(2))))
+        before = program_of([lst, pure, write], lst.sym, [db])
+        after = program_of([lst, write, pure], lst.sym, [db])
+        audit_transition(before, after, phase="hoisting")
+
+    def test_inserting_new_statements_is_legal(self):
+        db = Sym("db")
+        keep = Stmt(Sym("keep", INT), Expr("add", (Const(1), Const(2))))
+        fresh = Stmt(Sym("v"), Expr("var_new", (Const(0),)))
+        before = program_of([keep], keep.sym, [db])
+        after = program_of([fresh, keep], keep.sym, [db])
+        audit_transition(before, after, phase="scalar-replacement")

@@ -1,0 +1,249 @@
+"""Mutation suite: deliberately broken transformations must be rejected.
+
+Each test injects one seeded miscompile into a real compilation pipeline —
+a broken optimization variant into the dblab-5 stack, a broken rewrite rule
+into the planner, a tampering unparser — and asserts the verifier rejects it
+with a :class:`VerificationError` attributed to the offending phase.  This
+is the evidence that the static-analysis layer detects miscompiles instead
+of merely blessing healthy programs.
+"""
+import pytest
+
+from repro.analysis import VerificationError
+from repro.analysis.effects_audit import effective_effect
+from repro.codegen.compiler import QueryCompiler
+from repro.codegen.unparser import PythonUnparser
+from repro.ir import make_program
+from repro.ir.nodes import Block, Const, Expr, Stmt, Sym
+from repro.ir.traversal import used_syms
+from repro.stack.configs import build_config
+from repro.stack.language import language_by_name
+from repro.stack.pipeline import DslStack
+from repro.stack.transformation import FunctionOptimization
+from repro.tpch.queries import build_query
+
+QUERY = "Q1"
+CONFIG = "dblab-5"
+LEVEL = "ScaLite"
+
+
+def _rebuild(program, body):
+    return make_program(body, program.params, program.language,
+                        program.hoisted)
+
+
+def compile_mutated(catalog, mutation, name, level=LEVEL, query=QUERY):
+    """Compile ``query`` with ``mutation`` injected as an optimization."""
+    config = build_config(CONFIG)
+    broken = FunctionOptimization(language_by_name(level), name, mutation)
+    stack = DslStack(config.stack.name + "+mutation",
+                     config.stack.languages, config.stack.lowerings,
+                     list(config.stack.optimizations) + [broken])
+    compiler = QueryCompiler(stack, config.flags, verify=True)
+    compiler.compile(build_query(query), catalog, query_name=query)
+
+
+class TestMutationSuite:
+    def test_dropped_live_binding_rejected(self, tpch_catalog):
+        """DCE variant that drops a binding whose symbol is still used."""
+
+        def drop_live(program, context):
+            body = program.body
+            used = {s.id for s in used_syms(body)}
+            for i, stmt in enumerate(body.stmts):
+                if stmt.sym.id in used and not stmt.expr.blocks:
+                    stmts = list(body.stmts[:i]) + list(body.stmts[i + 1:])
+                    return _rebuild(program, Block(stmts, body.result,
+                                                   body.params))
+            return program
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, drop_live, "broken-dce")
+        assert exc.value.check == "scope"
+        assert exc.value.phase == f"broken-dce[{LEVEL}]"
+
+    def test_duplicate_binding_rejected(self, tpch_catalog):
+        """CSE variant that binds the same symbol twice."""
+
+        def duplicate(program, context):
+            body = program.body
+            for stmt in body.stmts:
+                if not stmt.expr.blocks:
+                    stmts = list(body.stmts) + [stmt]
+                    return _rebuild(program, Block(stmts, body.result,
+                                                   body.params))
+            return program
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, duplicate, "broken-cse")
+        assert exc.value.check == "scope"
+        assert "single-assignment" in str(exc.value)
+
+    def test_effectful_dce_rejected(self, tpch_catalog):
+        """DCE variant that removes a *writing* statement (output/agg update).
+
+        The dangling-use checks cannot see this — a write's result is
+        usually unused — so only the effect-legality audit catches it.
+        """
+
+        def drop_write(block):
+            for i, stmt in enumerate(block.stmts):
+                if stmt.expr.op in ("emit_row", "hashmap_agg_update",
+                                    "dense_agg_update", "list_append"):
+                    return Block(block.stmts[:i] + block.stmts[i + 1:],
+                                 block.result, block.params), True
+                for k, nested in enumerate(stmt.expr.blocks):
+                    new_nested, done = drop_write(nested)
+                    if done:
+                        blocks = list(stmt.expr.blocks)
+                        blocks[k] = new_nested
+                        expr = Expr(stmt.expr.op, stmt.expr.args,
+                                    dict(stmt.expr.attrs), tuple(blocks),
+                                    stmt.expr.type)
+                        stmts = list(block.stmts)
+                        stmts[i] = Stmt(stmt.sym, expr)
+                        return Block(stmts, block.result,
+                                     block.params), True
+            return block, False
+
+        def mutate(program, context):
+            body, done = drop_write(program.body)
+            return _rebuild(program, body) if done else program
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, mutate, "effectful-dce")
+        assert exc.value.check == "effects"
+        assert "removable" in str(exc.value)
+        assert exc.value.phase == f"effectful-dce[{LEVEL}]"
+
+    def test_reordered_writes_rejected(self, tpch_catalog):
+        """Hoisting variant that swaps two effect-pinned statements."""
+
+        def swap_writes(block):
+            pinned = [i for i, stmt in enumerate(block.stmts)
+                      if not effective_effect(stmt.expr)
+                      .can_reorder_with_reads]
+            if len(pinned) >= 2:
+                stmts = list(block.stmts)
+                i, j = pinned[0], pinned[1]
+                stmts[i], stmts[j] = stmts[j], stmts[i]
+                return Block(stmts, block.result, block.params), True
+            for i, stmt in enumerate(block.stmts):
+                for k, nested in enumerate(stmt.expr.blocks):
+                    new_nested, done = swap_writes(nested)
+                    if done:
+                        blocks = list(stmt.expr.blocks)
+                        blocks[k] = new_nested
+                        expr = Expr(stmt.expr.op, stmt.expr.args,
+                                    dict(stmt.expr.attrs), tuple(blocks),
+                                    stmt.expr.type)
+                        stmts = list(block.stmts)
+                        stmts[i] = Stmt(stmt.sym, expr)
+                        return Block(stmts, block.result,
+                                     block.params), True
+            return block, False
+
+        def mutate(program, context):
+            body, done = swap_writes(program.body)
+            return _rebuild(program, body) if done else program
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, mutate, "broken-hoisting")
+        assert exc.value.check in ("effects", "scope")
+        assert exc.value.phase == f"broken-hoisting[{LEVEL}]"
+
+    def test_type_confusion_rejected(self, tpch_catalog):
+        """Folding variant that rewrites an arithmetic operand to a string."""
+
+        def confuse(block):
+            for i, stmt in enumerate(block.stmts):
+                if stmt.expr.op in ("add", "sub", "mul") \
+                        and len(stmt.expr.args) == 2:
+                    expr = Expr(stmt.expr.op,
+                                (stmt.expr.args[0], Const("broken")),
+                                dict(stmt.expr.attrs), (), stmt.expr.type)
+                    stmts = list(block.stmts)
+                    stmts[i] = Stmt(stmt.sym, expr)
+                    return Block(stmts, block.result, block.params), True
+                for k, nested in enumerate(stmt.expr.blocks):
+                    new_nested, done = confuse(nested)
+                    if done:
+                        blocks = list(stmt.expr.blocks)
+                        blocks[k] = new_nested
+                        expr = Expr(stmt.expr.op, stmt.expr.args,
+                                    dict(stmt.expr.attrs), tuple(blocks),
+                                    stmt.expr.type)
+                        stmts = list(block.stmts)
+                        stmts[i] = Stmt(stmt.sym, expr)
+                        return Block(stmts, block.result,
+                                     block.params), True
+            return block, False
+
+        def mutate(program, context):
+            body, done = confuse(program.body)
+            return _rebuild(program, body) if done else program
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, mutate, "broken-folding")
+        assert exc.value.check == "types"
+        assert exc.value.phase == f"broken-folding[{LEVEL}]"
+
+    def test_vocabulary_violation_rejected(self, tpch_catalog):
+        """Lowering-ahead-of-time variant: C.Py memory ops at ScaLite."""
+
+        def emit_malloc(program, context):
+            body = program.body
+            if any(stmt.expr.op == "malloc" for stmt in body.stmts):
+                return program
+            stmt = Stmt(Sym("chunk"), Expr("malloc", ()))
+            return _rebuild(program, Block([stmt] + list(body.stmts),
+                                           body.result, body.params))
+
+        with pytest.raises(VerificationError) as exc:
+            compile_mutated(tpch_catalog, emit_malloc, "eager-lowering")
+        assert exc.value.check == "language"
+        assert "malloc" in str(exc.value)
+        assert exc.value.phase == f"eager-lowering[{LEVEL}]"
+
+    def test_unparser_tampering_rejected(self, tpch_catalog, monkeypatch):
+        """Generated-code lint: a module-level statement smuggled into the
+        unparser output is rejected before ``exec`` ever sees it."""
+        original = PythonUnparser.unparse
+
+        def tampered(self, program):
+            return original(self, program) + "\nleak = []\n"
+
+        monkeypatch.setattr(PythonUnparser, "unparse", tampered)
+        config = build_config(CONFIG)
+        compiler = QueryCompiler(config.stack, config.flags, verify=True)
+        with pytest.raises(VerificationError) as exc:
+            compiler.compile(build_query(QUERY), tpch_catalog,
+                             query_name=QUERY)
+        assert exc.value.check == "codelint"
+        assert exc.value.phase == f"unparse[{QUERY}]"
+
+    def test_broken_plan_rule_rejected(self, tpch_catalog):
+        """Planner rule producing an invalid plan is named the moment it
+        fires (per-rule re-validation, ``validate_rewrites``)."""
+        from repro.dsl import qplan as Q
+        from repro.dsl.expr import Col
+        from repro.planner.planner import PlannerOptions
+        from repro.planner.rewrite import (PlannerContext, PlanRule,
+                                           apply_rules_fixpoint)
+
+        class GhostProjection(PlanRule):
+            name = "ghost-projection"
+
+            def apply(self, node, context):
+                if isinstance(node, Q.Project):
+                    return None
+                return Q.Project(node, [("ghost", Col("no_such_column"))])
+
+        plan = build_query(QUERY)
+        context = PlannerContext(
+            catalog=tpch_catalog,
+            options=PlannerOptions(validate_rewrites=True))
+        with pytest.raises(VerificationError) as exc:
+            apply_rules_fixpoint(plan, [GhostProjection()], context)
+        assert exc.value.check == "plan"
+        assert exc.value.phase == "ghost-projection"

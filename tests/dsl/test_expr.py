@@ -1,7 +1,9 @@
 """Unit tests for the scalar expression DSL."""
 import pytest
 
-from repro.dsl.expr import (BinOp, Col, ExprError, Like, UnaryOp, and_all, case, col, columns_used, date, evaluate, in_list, is_null, like, lit, substr, wrap, year)
+from repro.dsl.expr import (BinOp, Col, ExprError, Like, UnaryOp, and_all, case, col,
+                            columns_used, date, evaluate, in_list, is_null, like, lit,
+                            substr, wrap, year)
 
 
 ROW = {"a": 10, "b": 3, "name": "PROMO BRUSHED STEEL", "flag": True,

@@ -174,3 +174,47 @@ class TestAnalysis:
         # every node of the chain was cached, including the shared scan
         assert memo[id(scan)] == fields
         assert qplan.output_fields(plan, catalog, memo) is memo[id(plan)]
+
+
+class TestValidationErrorPaths:
+    """Field-resolution hardening: schema problems surface as PlanError with
+    the offending name, never as storage-layer SchemaError escaping through
+    plan analysis."""
+
+    def test_unknown_table_is_a_plan_error(self, catalog):
+        with pytest.raises(qplan.PlanError, match="unknown table 'ghost'"):
+            qplan.validate(qplan.Scan("ghost"), catalog)
+
+    def test_unknown_table_with_explicit_fields_is_a_plan_error(self, catalog):
+        """Scans with a field list used to skip table resolution entirely."""
+        with pytest.raises(qplan.PlanError, match="unknown table"):
+            qplan.validate(qplan.Scan("ghost", fields=("r_id",)), catalog)
+
+    def test_unknown_table_nested_in_join_is_a_plan_error(self, catalog):
+        plan = qplan.HashJoin(qplan.Scan("r"), qplan.Scan("ghost"),
+                              col("r_sid"), col("s_id"))
+        with pytest.raises(qplan.PlanError, match="ghost"):
+            qplan.validate(plan, catalog)
+
+    def test_output_fields_unknown_table_is_a_plan_error(self, catalog):
+        with pytest.raises(qplan.PlanError, match="unknown table"):
+            qplan.output_fields(qplan.Scan("ghost"), catalog)
+
+    def test_index_join_unknown_table_is_a_plan_error(self, catalog):
+        plan = qplan.IndexJoin(qplan.Scan("ghost"), qplan.Scan("s"),
+                               col("g_id"), col("s_id"),
+                               index_table="ghost", index_column="g_id")
+        with pytest.raises(qplan.PlanError):
+            qplan.validate(plan, catalog)
+
+    def test_index_join_unknown_column_is_a_plan_error(self, catalog):
+        plan = qplan.IndexJoin(qplan.Scan("r"), qplan.Scan("s"),
+                               col("nope"), col("s_id"),
+                               index_table="r", index_column="nope")
+        with pytest.raises(qplan.PlanError, match="nope"):
+            qplan.validate(plan, catalog)
+
+    def test_error_names_the_unknown_predicate_column(self, catalog):
+        plan = qplan.Select(qplan.Scan("r"), col("bogus") > 1)
+        with pytest.raises(qplan.PlanError, match="bogus"):
+            qplan.validate(plan, catalog)

@@ -1,6 +1,8 @@
 """Unit tests for IR traversal, symbol analysis and block rewriting."""
 from repro.ir import IRBuilder, Const, make_program
-from repro.ir.traversal import (block_effect, bound_syms, count_ops, free_syms, iter_program_stmts, iter_stmts, ops_used, rewrite_program, substitute_block, used_syms)
+from repro.ir.traversal import (block_effect, bound_syms, count_ops, free_syms,
+                                iter_program_stmts, iter_stmts, ops_used, rewrite_program,
+                                substitute_block, used_syms)
 from repro.ir.nodes import Sym
 
 

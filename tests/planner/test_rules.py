@@ -10,7 +10,8 @@ from repro.dsl import qplan as Q
 from repro.dsl.expr import BinOp, Col, col, columns_used, lit
 from repro.engine.volcano import execute as volcano_execute
 from repro.engine.vectorized import execute as vectorized_execute
-from repro.planner import (CardinalityEstimator, Planner, PlannerContext, PlannerError, PlannerOptions, PlanRule, apply_rules_fixpoint, prune_plan)
+from repro.planner import (CardinalityEstimator, Planner, PlannerContext, PlannerError,
+                           PlannerOptions, PlanRule, apply_rules_fixpoint, prune_plan)
 from repro.storage.catalog import Catalog
 from repro.storage.schema import TableSchema, int_column, string_column
 

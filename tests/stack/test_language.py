@@ -35,9 +35,17 @@ class TestLanguageDefinitions:
             assert not SCALITE_MAP_LIST.allows_op(op)
 
     def test_specialized_structures_not_in_map_list_level(self):
-        """Index/dense/strdict structures only appear below ScaLite[Map, List]."""
-        for op in ("index_build_unique", "dense_agg_update", "strdict_code"):
+        """Index/dense structures only appear below ScaLite[Map, List]."""
+        for op in ("index_build_unique", "dense_agg_update"):
             assert not SCALITE_MAP_LIST.allows_op(op)
+            assert SCALITE_LIST.allows_op(op)
+
+    def test_strdict_ops_available_where_the_optimization_runs(self):
+        """StringDictionaries is declared at ScaLite[Map, List]; cohesion says
+        an optimization stays within its language, so the strdict vocabulary
+        must start there (the static verifier caught the earlier mismatch)."""
+        for op in ("strdict_build", "strdict_code", "strdict_prefix_range"):
+            assert SCALITE_MAP_LIST.allows_op(op)
             assert SCALITE_LIST.allows_op(op)
 
     def test_language_by_name(self):

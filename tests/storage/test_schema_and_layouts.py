@@ -5,7 +5,8 @@ from repro.ir.types import FLOAT, STRING
 from repro.storage.catalog import Catalog, CatalogError
 from repro.storage.layouts import (BoxedTable, ColumnarTable, LayoutError, RowTable,
                                    to_layout)
-from repro.storage.schema import (ForeignKey, Schema, SchemaError, TableSchema, float_column, int_column, string_column)
+from repro.storage.schema import (ForeignKey, Schema, SchemaError, TableSchema,
+                                  float_column, int_column, string_column)
 from repro.storage.statistics import compute_table_statistics
 
 

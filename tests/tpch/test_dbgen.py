@@ -52,7 +52,8 @@ class TestGenerator:
         assert catalog.size("customer") == int(BASE_CARDINALITIES["customer"] * SF)
         assert catalog.size("orders") == int(BASE_CARDINALITIES["orders"] * SF)
         lo, hi = BASE_CARDINALITIES["lineitems_per_order"]
-        assert catalog.size("orders") * lo <= catalog.size("lineitem") <= catalog.size("orders") * hi
+        n_orders = catalog.size("orders")
+        assert n_orders * lo <= catalog.size("lineitem") <= n_orders * hi
 
     def test_invalid_scale_factor(self):
         with pytest.raises(ValueError):
