@@ -1,0 +1,18 @@
+"""Command-line entry point: ``python -m repro.analysis.dataflow report``."""
+from __future__ import annotations
+
+import sys
+
+
+def main() -> int:
+    argv = sys.argv[1:]
+    if argv and argv[0] == "report":
+        from .report import main as report_main
+        return report_main(argv[1:])
+    print("usage: python -m repro.analysis.dataflow report [options]\n"
+          "       (see --help for options)", file=sys.stderr)
+    return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -151,14 +151,23 @@ def _audit_transition(before: Program, after: Program) -> None:
     for sym_id, stmt in before_index.items():
         if sym_id in after_index:
             continue
-        effect = effective_effect(stmt.expr)
-        if not effect.removable_if_unused:
-            what = "I/O" if effect.io else "a write"
-            raise _err(
-                f"optimization removed the binding of {stmt.sym.name} "
-                f"({stmt.expr.op}), whose effective effect performs {what} "
-                "— only removable_if_unused bindings may be dropped",
-                binding=stmt.sym.name)
+        declared = ir_ops.effect_of(stmt.expr.op)
+        if declared.control:
+            # The branch/loop decision itself is unobservable.  Every removed
+            # descendant appears in before_index and is checked on its own
+            # here; splices that leave descendants *surviving* are the
+            # dataflow audit's justification check.
+            continue
+        if declared.removable_if_unused:
+            continue
+        if _is_dead_object_write(stmt, before_index, after_index):
+            continue
+        what = "I/O" if declared.io else "a write"
+        raise _err(
+            f"optimization removed the binding of {stmt.sym.name} "
+            f"({stmt.expr.op}), whose effective effect performs {what} "
+            "— only removable_if_unused bindings may be dropped",
+            binding=stmt.sym.name)
 
     pinned_before = [
         sym_id for sym_id in _ordered_ids(before)
@@ -176,6 +185,26 @@ def _audit_transition(before: Program, after: Program) -> None:
             f"writes/IO around {name} ({before_index[moved].expr.op}) no "
             "longer execute in their original relative order",
             binding=name)
+
+
+def _is_dead_object_write(stmt: Stmt, before_index: Dict[int, Stmt],
+                          after_index: Dict[int, Stmt]) -> bool:
+    """Whole-object deletion: a removed write whose target object also died.
+
+    Deleting a write-only allocation together with *all* of its writes is
+    unobservable (nothing ever read the object), and it is exactly what the
+    escape-refined DCE does — so a removed write is legal when the binding
+    it mutates was itself a removed binding of the same program.
+    """
+    try:
+        mutated = signature_of(stmt.expr.op).mutated_arg
+    except KeyError:
+        return False
+    if mutated is None or mutated >= len(stmt.expr.args):
+        return False
+    target = stmt.expr.args[mutated]
+    return (isinstance(target, Sym) and target.id in before_index
+            and target.id not in after_index)
 
 
 def _first_divergence(left: List[int], right: List[int]) -> int:

@@ -8,10 +8,11 @@ binding".
 """
 from __future__ import annotations
 
-from typing import Any, Optional
+from typing import Any, Mapping, Optional
 
 from ..ir.nodes import Program
 from .codelint import lint_source
+from .dataflow.checks import audit_dataflow_transition, check_stamps
 from .effects_audit import audit_effects, audit_transition
 from .errors import VerificationError
 from .scope import check_scopes
@@ -56,6 +57,7 @@ def verify_program(program: Program, *, language: Any = None,
         check_scopes(program)
         check_types(program, catalog)
         audit_effects(program)
+        check_stamps(program, catalog=catalog)
     except VerificationError as exc:
         raise _attributed(exc, phase) from None
     if language is not None and getattr(language, "kind", "anf") == "anf":
@@ -63,14 +65,23 @@ def verify_program(program: Program, *, language: Any = None,
 
 
 def audit_optimization(before: Any, after: Any,
-                       phase: Optional[str] = None) -> None:
+                       phase: Optional[str] = None,
+                       catalog: Any = None,
+                       justifications: Optional[Mapping[int, str]] = None) -> None:
     """Before/after legality audit of one optimization pass.
 
     Tree-level passes (QPlan/QMonad rewrites) are validated by the planner;
-    this audit applies only when both sides are ANF programs.
+    this audit applies only when both sides are ANF programs.  On top of the
+    effect-system transition audit, the dataflow cross-checks run: interval
+    non-widening, loop parallel-safety flips, and control-unwrap
+    justifications (``justifications`` maps the sym id of a rewritten
+    binding to the pass's recorded reason; ``catalog`` seeds the value
+    analysis that re-verifies those claims).
     """
     if isinstance(before, Program) and isinstance(after, Program):
         audit_transition(before, after, phase=phase)
+        audit_dataflow_transition(before, after, catalog=catalog,
+                                  justifications=justifications, phase=phase)
 
 
 def verify_source(source: str, phase: Optional[str] = None) -> None:

@@ -46,6 +46,9 @@ class CompiledQuery:
     config: str
     program: Program
     phases: List[Any] = field(default_factory=list)
+    #: per-loop parallel-safety classifications (verify-mode compiles only):
+    #: each depth-0 loop of the final program, stamped and re-proved.
+    loop_safety: List[Any] = field(default_factory=list)
     generation_seconds: float = 0.0
     python_compile_seconds: float = 0.0
     cache_hit: bool = False
@@ -53,6 +56,12 @@ class CompiledQuery:
     _query_fn: Any = None
     _aux: Optional[Dict[str, Any]] = None
     _aux_generation: Optional[int] = None
+    #: access-layer generation the program was compiled against; compiled
+    #: code bakes in statistics-derived facts (interval-folded predicates,
+    #: dense key ranges), so running against reloaded data triggers a
+    #: transparent recompile through ``_recompile``
+    _compiled_generation: Optional[int] = None
+    _recompile: Any = None
 
     def prepare(self, db: Catalog) -> Dict[str, Any]:
         """Run the data-loading-time section (index builds, dictionaries, pools)."""
@@ -67,10 +76,26 @@ class CompiledQuery:
         access-layer generation: re-registering a table invalidates it, so a
         later ``run()`` re-prepares instead of silently serving structures
         (index objects, candidate row lists, dictionaries) built against the
-        replaced data.  An explicitly passed ``aux`` is the caller's
-        responsibility and is used as-is.
+        replaced data.  The compiled *code* is stamped the same way —
+        statistics-derived facts (interval-folded predicates, dense key
+        ranges) are baked into it at compile time, so a generation mismatch
+        transparently recompiles against the live data before running.  An
+        explicitly passed ``aux`` is the caller's responsibility and is used
+        as-is.
         """
         fault_point("engine.compiled.run", query=self.name, config=self.config)
+        if self._recompile is not None and self._compiled_generation is not None \
+                and AccessLayer.for_catalog(db).generation != self._compiled_generation:
+            fresh = self._recompile(db)
+            self.source = fresh.source
+            self.program = fresh.program
+            self.phases = fresh.phases
+            self.loop_safety = fresh.loop_safety
+            self._prepare_fn = fresh._prepare_fn
+            self._query_fn = fresh._query_fn
+            self._compiled_generation = fresh._compiled_generation
+            self._aux = None
+            self._aux_generation = None
         if aux is None:
             if self._aux is None or \
                     self._aux_generation != AccessLayer.for_catalog(db).generation:
@@ -254,6 +279,17 @@ class QueryCompiler:
             raise CompilerError(
                 f"stack {self.stack.name!r} did not produce an ANF program "
                 f"(got {type(program).__name__}); is the lowering chain complete?")
+        loop_safety: List[Any] = []
+        if self.verify:
+            # Stamp every depth-0 loop with its parallel-safety verdict and
+            # immediately re-prove the stamps: the annotate → check round
+            # trip guards against the annotator and the checker drifting
+            # apart.
+            from ..analysis.dataflow import annotate_parallel_safety
+            from ..analysis.dataflow.checks import check_stamps
+            loop_safety = list(annotate_parallel_safety(program))
+            check_stamps(program, catalog=catalog,
+                         phase=f"parallel-safety[{query_name}]")
         source = PythonUnparser(query_name).unparse(program)
         if self.verify:
             from ..analysis import verify_source
@@ -276,10 +312,14 @@ class QueryCompiler:
             config=self.stack.name,
             program=program,
             phases=result.phases,
+            loop_safety=loop_safety,
             generation_seconds=generation_seconds,
             python_compile_seconds=python_compile_seconds,
             _prepare_fn=namespace["prepare"],
             _query_fn=namespace["query"],
+            _compiled_generation=AccessLayer.for_catalog(catalog).generation,
+            _recompile=lambda db, _plan=plan, _name=query_name:
+                self.compile(_plan, db, query_name=_name),
         )
         QueryCompiler.cache_stats.misses += 1
         if key is not None:

@@ -24,7 +24,7 @@ from ..dsl import qplan
 from ..dsl.expr_compile import compile_pair, compile_row
 from ..robustness.faults import fault_point
 from ..robustness.governor import current_governor
-from ..storage.access import AccessLayer
+from ..storage.access import AccessLayer, rewrite_string_predicates
 from ..storage.catalog import Catalog
 from .sharing import SubplanSharing
 from .sortkeys import pass_keys, topk_rows
@@ -110,10 +110,17 @@ class VolcanoEngine(SubplanSharing):
             yield {name: column[i] for name, column in zip(fields, columns)}
 
     def _select(self, plan: qplan.Select) -> Iterator[Row]:
+        if isinstance(plan.child, qplan.Scan):
+            # Filter directly over a base-table scan: string predicates can
+            # then compare dictionary codes instead of raw values.
+            return self._filtered_scan(plan.child, plan.predicate, None)
         predicate = compile_row(plan.predicate)
-        for row in self.iterate(plan.child):
-            if predicate(row):
-                yield row
+
+        def stream() -> Iterator[Row]:
+            for row in self.iterate(plan.child):
+                if predicate(row):
+                    yield row
+        return stream()
 
     def _pruned_scan(self, plan: qplan.PrunedScan) -> Iterator[Row]:
         """``Select(Scan(...))`` with partition pruning: the access layer
@@ -121,15 +128,41 @@ class VolcanoEngine(SubplanSharing):
         order, so emission matches the unpruned scan-then-filter exactly) and
         only the candidates pay row construction and predicate evaluation."""
         scan = plan.child
-        table = self.catalog.table(scan.table)
-        fields = scan.fields if scan.fields is not None else table.schema.column_names()
-        columns = [table.column(name) for name in fields]
-        predicate = compile_row(plan.predicate)
         candidates = AccessLayer.for_catalog(self.catalog).pruned_indices(
             scan.table, plan.zone_filters)
+        return self._filtered_scan(scan, plan.predicate, candidates)
+
+    def _filtered_scan(self, scan: qplan.Scan, predicate_expr,
+                       candidates) -> Iterator[Row]:
+        """A scan-then-filter pipeline with dictionary-code predicates.
+
+        String equality/``IN``/prefix-``LIKE`` comparisons over dictionary
+        columns are rewritten to integer code comparisons
+        (:func:`repro.storage.access.rewrite_string_predicates`); the code
+        columns ride along in the boxed row during evaluation and are
+        stripped before the row is emitted, so downstream operators see the
+        exact scan-then-filter rows."""
+        table = self.catalog.table(scan.table)
+        fields = scan.fields if scan.fields is not None else table.schema.column_names()
+        columns = {name: table.column(name) for name in fields}
+        layer = AccessLayer.for_catalog(self.catalog)
+        predicate, code_columns = rewrite_string_predicates(
+            predicate_expr, scan.table, table.schema.columns, layer)
+        compiled = compile_row(predicate)
+        if candidates is None:
+            candidates = range(table.num_rows)
+        if not code_columns:
+            for i in candidates:
+                row = {name: column[i] for name, column in columns.items()}
+                if compiled(row):
+                    yield row
+            return
+        evaluated = {**columns, **code_columns}
         for i in candidates:
-            row = {name: column[i] for name, column in zip(fields, columns)}
-            if predicate(row):
+            row = {name: column[i] for name, column in evaluated.items()}
+            if compiled(row):
+                for extra in code_columns:
+                    del row[extra]
                 yield row
 
     def _index_join(self, plan: qplan.IndexJoin) -> Iterator[Row]:

@@ -29,6 +29,13 @@ class OpDef:
     doc: str = ""
     #: number of nested blocks the op expects (None = any)
     n_blocks: Optional[int] = 0
+    #: how per-worker partial states of this *writing* op combine when the
+    #: enclosing loop is split across morsels: ``"concat"`` (order-preserving
+    #: concatenation), ``"reduce"`` (commutative aggregate merge),
+    #: ``"set-union"``, ``"bucket-concat"`` — or ``None`` when the write is
+    #: order-dependent and pins the loop to sequential execution.  The
+    #: loop-dependence analysis (repro.analysis.dataflow) is the consumer.
+    merge: Optional[str] = None
 
 
 class OpRegistry:
@@ -38,10 +45,13 @@ class OpRegistry:
         self._ops: Dict[str, OpDef] = {}
 
     def register(self, name: str, effect: Effect = PURE, doc: str = "",
-                 n_blocks: Optional[int] = 0) -> OpDef:
+                 n_blocks: Optional[int] = 0,
+                 merge: Optional[str] = None) -> OpDef:
         if name in self._ops:
             raise ValueError(f"op {name!r} registered twice")
-        op = OpDef(name, effect, doc, n_blocks)
+        if merge is not None and not effect.writes:
+            raise ValueError(f"op {name!r} declares a merge strategy but does not write")
+        op = OpDef(name, effect, doc, n_blocks, merge)
         self._ops[name] = op
         return op
 
@@ -114,7 +124,7 @@ _r("array_len", READ)
 # Lists (ScaLite[List] and below; also used for query results).
 # ---------------------------------------------------------------------------
 _r("list_new", ALLOC)
-_r("list_append", WRITE)
+_r("list_append", WRITE, merge="concat")
 _r("list_foreach", CONTROL, "iterate a list; one body block with one element parameter", n_blocks=1)
 _r("list_len", READ)
 _r("list_get", READ)
@@ -131,16 +141,17 @@ _r("list_take", Effect(reads=True, allocates=True), "first n elements of a list"
 # in the 2- and 3-level stack configurations.
 # ---------------------------------------------------------------------------
 _r("mmap_new", ALLOC, "MultiMap: key -> list of values (hash joins)")
-_r("mmap_add", WRITE, "append a value to the bucket of a key")
+_r("mmap_add", WRITE, "append a value to the bucket of a key", merge="bucket-concat")
 _r("mmap_get", READ, "return the bucket list of a key (empty list if absent)")
 _r("hashmap_agg_new", ALLOC,
    "HashMap keyed aggregation table; attrs: aggs=[('sum'|'count'|'min'|'max'|'avg'), ...]")
 _r("hashmap_agg_update", WRITE,
-   "get-or-initialise the accumulator row of a key and fold the given values into it")
+   "get-or-initialise the accumulator row of a key and fold the given values into it",
+   merge="reduce")
 _r("hashmap_agg_foreach", CONTROL,
    "iterate (key, accumulator-values) pairs of an aggregation table", n_blocks=1)
 _r("set_new", ALLOC)
-_r("set_add", WRITE)
+_r("set_add", WRITE, merge="set-union")
 _r("set_contains", READ)
 _r("set_len", READ)
 
@@ -164,7 +175,7 @@ _r("index_build_unique", ALLOC,
 _r("index_get_unique", READ, "row id for a key (-1 when absent)")
 _r("dense_agg_new", ALLOC,
    "dense aggregation array over a known key range; attrs: aggs=[...], size known at prepare time")
-_r("dense_agg_update", WRITE)
+_r("dense_agg_update", WRITE, merge="reduce")
 _r("dense_agg_foreach", CONTROL, n_blocks=1)
 _r("strdict_build", ALLOC,
    "build a string dictionary over a column; attrs: table, column, ordered=bool")
@@ -215,13 +226,18 @@ _r("ptr_field_set", WRITE, "write a field through a pointer; attrs: field")
 # ---------------------------------------------------------------------------
 # Output / debugging.
 # ---------------------------------------------------------------------------
-_r("emit_row", WRITE, "append an output row to the query result list")
+_r("emit_row", WRITE, "append an output row to the query result list", merge="concat")
 _r("print_", IO)
 
 
 def effect_of(op_name: str) -> Effect:
     """Effect summary of a registered op (raises ``KeyError`` for unknown ops)."""
     return REGISTRY.effect_of(op_name)
+
+
+def merge_strategy(op_name: str) -> Optional[str]:
+    """Morsel merge strategy of a writing op, or ``None`` for order-dependent writes."""
+    return REGISTRY.get(op_name).merge
 
 
 def is_registered(op_name: str) -> bool:

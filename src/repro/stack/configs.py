@@ -31,8 +31,10 @@ from typing import List
 from ..transforms.control_flow import BranchlessBooleans
 from ..transforms.dce import DeadCodeElimination
 from ..transforms.field_removal import UnusedFieldRemoval
+from ..transforms.folding import DataflowFolding
 from ..transforms.fusion import MonadFusionRules, QMonadShortcutFusionLowering
 from ..transforms.hashmap_specialization import HashTableSpecialization
+from ..transforms.licm import LoopInvariantHoisting
 from ..transforms.list_specialization import ListSpecialization
 from ..transforms.lower_to_cpy import ScaLiteToCPy
 from ..transforms.memory_hoisting import MemoryAllocationHoisting
@@ -89,7 +91,8 @@ def _flags_level3() -> OptimizationFlags:
         data_layout=True, scalar_replacement=True, dce=True, cse=True,
         partial_evaluation=True, let_binding_removal=True, memory_hoisting=True,
         unused_field_removal=True, flatten_nested_structs=True,
-        subplan_sharing=True)
+        subplan_sharing=True, dataflow_folding=True,
+        loop_invariant_code_motion=True)
 
 
 def _flags_level4() -> OptimizationFlags:
@@ -158,6 +161,8 @@ def _build_config(name: str) -> StackConfig:
                 MonadFusionRules(),
                 ScalarReplacement(SCALITE),
                 PartialEvaluation(SCALITE),
+                DataflowFolding(SCALITE),
+                LoopInvariantHoisting(SCALITE),
                 DeadCodeElimination(SCALITE),
                 MemoryAllocationHoisting(SCALITE),
             ])
@@ -179,6 +184,8 @@ def _build_config(name: str) -> StackConfig:
                 StringDictionaries(SCALITE_MAP_LIST),
                 ScalarReplacement(SCALITE),
                 PartialEvaluation(SCALITE),
+                DataflowFolding(SCALITE),
+                LoopInvariantHoisting(SCALITE),
                 DeadCodeElimination(SCALITE),
                 MemoryAllocationHoisting(SCALITE),
             ])
@@ -201,6 +208,8 @@ def _build_config(name: str) -> StackConfig:
                 StringDictionaries(SCALITE_MAP_LIST),
                 ScalarReplacement(SCALITE),
                 PartialEvaluation(SCALITE),
+                DataflowFolding(SCALITE),
+                LoopInvariantHoisting(SCALITE),
                 DeadCodeElimination(SCALITE),
                 MemoryAllocationHoisting(SCALITE),
                 BranchlessBooleans(C_PY),

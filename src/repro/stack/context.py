@@ -59,6 +59,15 @@ class OptimizationFlags:
     flatten_nested_structs: bool = True
     control_flow_opts: bool = True
     horizontal_fusion: bool = True
+    #: dataflow-analysis-driven rewrites (repro.analysis.dataflow): dead-branch
+    #: elimination and always-true/false predicate folding from the interval +
+    #: nullability analysis, with per-rewrite justifications recorded for the
+    #: verifier's transition audit.
+    dataflow_folding: bool = True
+    #: hoist pure loop-invariant bindings out of loop bodies, justified by the
+    #: purity/escape analysis (only non-escaping, exception-free computations
+    #: whose operands are defined outside the loop).
+    loop_invariant_code_motion: bool = True
 
     @classmethod
     def all_disabled(cls) -> "OptimizationFlags":

@@ -212,7 +212,9 @@ class DslStack:
             def observer(opt, before, after):
                 language = verify_state["language"]
                 phase = f"{opt.name}[{language.name}]"
-                audit_optimization(before, after, phase=phase)
+                audit_optimization(
+                    before, after, phase=phase, catalog=catalog,
+                    justifications=context.info.get("dataflow_justifications"))
                 if language.kind == "anf":
                     verify_program(after, language=language,
                                    catalog=catalog, phase=phase)

@@ -59,6 +59,9 @@ class ColumnStatistics:
     name: str
     num_rows: int = 0
     num_distinct: int = 0
+    #: number of ``None`` values; the nullability analysis proves a column
+    #: read NON_NULL exactly when this is zero
+    num_nulls: int = 0
     min_value: Optional[Any] = None
     max_value: Optional[Any] = None
     #: whether the stored values are non-decreasing in row order (a clustered
@@ -156,6 +159,7 @@ def compute_column_statistics(name: str, values,
     if len(values) == 0:
         return stats
     stats.num_distinct = len(set(values))
+    stats.num_nulls = sum(1 for value in values if value is None)
     mins: List[Any] = []
     maxs: List[Any] = []
     sorted_ascending = True

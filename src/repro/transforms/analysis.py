@@ -1,37 +1,30 @@
-"""Shared program-analysis helpers for the IR-level transformations."""
+"""Shared program-analysis helpers for the IR-level transformations.
+
+``definition_map`` and ``use_counts`` used to rebuild their maps on every
+call, once per pass per fixpoint iteration.  They now delegate to the
+memoized use-def facts of the dataflow framework
+(:func:`repro.analysis.dataflow.use_def`): the maps are computed once per
+program object and invalidated automatically on rewrite, because every
+transformation builds a *new* :class:`~repro.ir.nodes.Program`.  Treat the
+returned maps as read-only — they are shared between all passes that ask
+about the same program.
+"""
 from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..ir.nodes import Atom, Block, Program, Stmt, Sym
-from ..ir.traversal import iter_program_stmts
+from ..analysis.dataflow.framework import use_def
+from ..ir.nodes import Atom, Program, Stmt, Sym
 
 
 def definition_map(program: Program) -> Dict[int, Stmt]:
-    """Map every symbol id to the statement defining it."""
-    defs: Dict[int, Stmt] = {}
-    for stmt, _ in iter_program_stmts(program):
-        defs[stmt.sym.id] = stmt
-    return defs
+    """Map every symbol id to the statement defining it (memoized; read-only)."""
+    return use_def(program).defs
 
 
 def use_counts(program: Program) -> Dict[int, int]:
-    """Count how many times each symbol is referenced as an argument or result."""
-    counts: Dict[int, int] = {}
-
-    def visit_block(block: Block) -> None:
-        for stmt in block.stmts:
-            for arg in stmt.expr.args:
-                if isinstance(arg, Sym):
-                    counts[arg.id] = counts.get(arg.id, 0) + 1
-            for nested in stmt.expr.blocks:
-                visit_block(nested)
-        if isinstance(block.result, Sym):
-            counts[block.result.id] = counts.get(block.result.id, 0) + 1
-
-    visit_block(program.hoisted)
-    visit_block(program.body)
-    return counts
+    """How often each symbol is referenced as argument or result (memoized)."""
+    return use_def(program).uses
 
 
 def trace_to_table_column(atom: Atom, defs: Dict[int, Stmt]) -> Optional[tuple]:

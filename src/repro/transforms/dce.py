@@ -1,17 +1,30 @@
-"""Dead-code elimination over ANF programs.
+"""Dead-code elimination over ANF programs, driven by the dataflow analyses.
 
-The effect system (:mod:`repro.ir.effects`) tells the pass which statements
-may be removed when their result is never used: pure computations, reads and
-allocations.  Writes, I/O and control-flow statements always stay.  Removing a
-statement can make further statements dead, so the pass iterates to a local
-fixed point (the outer fixed-point driver of the stack would converge anyway,
-but doing it here keeps each invocation cheap).
+Two analyses from :mod:`repro.analysis.dataflow` decide what dies:
+
+* **liveness** (backward): a binding whose value is never needed — not a
+  block result, not an argument of an effectful statement, not feeding any
+  live binding — may be dropped when its effect allows it
+  (``removable_if_unused``).  Because liveness propagates through chains of
+  dead pure bindings in one pass, the former iterate-until-no-change use
+  counting is gone: one sweep removes a whole dead dependency chain.
+
+* **purity/escape**: a write-only allocation that never escapes (every use
+  is a mutating write whose own result is unused) dies *together with all of
+  its writes* — something use counting could never see, because each write
+  kept the object's use count above zero.
+
+The outer fixed-point driver still re-runs the pass: dropping a dead write
+can strand the bindings that produced the written value, which the fresh
+liveness facts of the next iteration then pick up.
 """
 from __future__ import annotations
 
-from typing import Set
+from typing import Callable, List
 
-from ..ir.nodes import Block, Program, Sym
+from ..analysis.dataflow.liveness import liveness
+from ..analysis.dataflow.purity import purity
+from ..ir.nodes import Block, Expr, Program, Stmt
 from ..ir.ops import effect_of
 from ..stack.context import CompilationContext
 from ..stack.language import Language
@@ -28,52 +41,34 @@ class DeadCodeElimination(Optimization):
         self.name = f"dce[{language.name}]"
 
     def run(self, program: Program, context: CompilationContext) -> Program:
-        body = program.body
-        hoisted = program.hoisted
-        for _ in range(20):
-            used = _used_syms(hoisted) | _used_syms(body)
-            new_hoisted, removed_hoisted = _sweep(hoisted, used)
-            new_body, removed_body = _sweep(body, used)
-            hoisted, body = new_hoisted, new_body
-            if not (removed_hoisted or removed_body):
-                break
-        return Program(body=body, params=program.params, language=program.language,
-                       hoisted=hoisted)
+        live = liveness(program)
+        objects = purity(program)
+
+        def dead(stmt: Stmt) -> bool:
+            sym_id = stmt.sym.id
+            if sym_id in objects.dead_writes or sym_id in objects.removable_objects:
+                return True
+            if stmt.expr.blocks:
+                return False
+            if not effect_of(stmt.expr.op).removable_if_unused:
+                return False
+            return sym_id not in live.live
+
+        body = _sweep(program.body, dead)
+        hoisted = _sweep(program.hoisted, dead)
+        return Program(body=body, params=program.params,
+                       language=program.language, hoisted=hoisted)
 
 
-def _used_syms(block: Block) -> Set[int]:
-    used: Set[int] = set()
-
-    def visit(blk: Block) -> None:
-        for stmt in blk.stmts:
-            for arg in stmt.expr.args:
-                if isinstance(arg, Sym):
-                    used.add(arg.id)
-            for nested in stmt.expr.blocks:
-                visit(nested)
-        if isinstance(blk.result, Sym):
-            used.add(blk.result.id)
-
-    visit(block)
-    return used
-
-
-def _sweep(block: Block, used: Set[int]) -> tuple:
-    removed = 0
-    new_stmts = []
+def _sweep(block: Block, dead: Callable[[Stmt], bool]) -> Block:
+    new_stmts: List[Stmt] = []
     for stmt in block.stmts:
-        effect = effect_of(stmt.expr.op)
-        if stmt.sym.id not in used and effect.removable_if_unused and not stmt.expr.blocks:
-            removed += 1
+        if dead(stmt):
             continue
         if stmt.expr.blocks:
-            new_blocks = []
-            for nested in stmt.expr.blocks:
-                swept, nested_removed = _sweep(nested, used)
-                removed += nested_removed
-                new_blocks.append(swept)
-            stmt = type(stmt)(stmt.sym, type(stmt.expr)(
-                stmt.expr.op, stmt.expr.args, dict(stmt.expr.attrs),
-                tuple(new_blocks), stmt.expr.type))
+            new_blocks = tuple(_sweep(nested, dead) for nested in stmt.expr.blocks)
+            stmt = Stmt(stmt.sym, Expr(stmt.expr.op, stmt.expr.args,
+                                       dict(stmt.expr.attrs), new_blocks,
+                                       stmt.expr.type))
         new_stmts.append(stmt)
-    return Block(new_stmts, block.result, block.params), removed
+    return Block(new_stmts, block.result, block.params)

@@ -31,17 +31,31 @@ class TestDeadCodeElimination:
         # the array itself becomes dead once its only reader is gone
         assert "array_new" not in counts
 
-    def test_keeps_writes_and_io(self):
+    def test_keeps_writes_to_escaping_objects_and_io(self):
         b = IRBuilder()
         lst = b.emit("list_new", [])
         b.emit("list_append", [lst, 1])
         b.emit("print_", [Const("hello")])
-        program = make_program(b.finish(Const(0)), [], "ScaLite")
+        # returning the list makes it escape: the append is observable
+        program = make_program(b.finish(lst), [], "ScaLite")
         cleaned = DeadCodeElimination(SCALITE).run(program, context())
         counts = count_ops(cleaned)
         assert counts["list_append"] == 1
         assert counts["print_"] == 1
-        assert counts["list_new"] == 1   # kept alive by the append
+        assert counts["list_new"] == 1   # kept alive by the escape
+
+    def test_removes_write_only_non_escaping_objects(self):
+        b = IRBuilder()
+        lst = b.emit("list_new", [])
+        b.emit("list_append", [lst, 1])
+        b.emit("print_", [Const("hello")])
+        # the list never escapes and is never read: it dies with its writes
+        program = make_program(b.finish(Const(0)), [], "ScaLite")
+        cleaned = DeadCodeElimination(SCALITE).run(program, context())
+        counts = count_ops(cleaned)
+        assert "list_append" not in counts
+        assert "list_new" not in counts
+        assert counts["print_"] == 1
 
     def test_cleans_inside_loop_bodies(self):
         b = IRBuilder()
