@@ -13,6 +13,7 @@ plan is a :class:`CompiledQuery` exposing:
 """
 from __future__ import annotations
 
+import threading
 import time
 import weakref
 from collections import OrderedDict
@@ -144,11 +145,22 @@ class QueryCompiler:
     ``cache_capacity`` evict the least recently used entry, and an
     access-layer generation bump (table re-registration) evicts every entry
     compiled against the catalog's previous data.
+
+    The cache is shared by every thread of a serving process (the async
+    front door executes queries on a thread pool), so every structural
+    operation — lookup + recency bump, insert + eviction, capacity change —
+    holds :data:`_cache_lock`.  Compilation itself runs outside the lock;
+    two threads missing on the same key may both compile, but only a result
+    compiled against the catalog's *live* access-layer generation is ever
+    inserted, so a slow compile racing a table re-registration cannot
+    resurrect an entry the generation bump already evicted.
     """
 
     #: process-wide compiled-query cache (LRU order):
     #: key -> (CompiledQuery, catalog ref, access-layer generation)
     _cache: "OrderedDict[Tuple, Tuple[CompiledQuery, weakref.ref, int]]" = OrderedDict()
+    #: guards _cache and cache_stats against concurrent readers/writers
+    _cache_lock = threading.RLock()
     cache_stats = QueryCacheStats()
     #: maximum live entries; configurable via :meth:`set_cache_capacity`
     cache_capacity: int = 512
@@ -171,22 +183,25 @@ class QueryCompiler:
     # ------------------------------------------------------------------
     @classmethod
     def clear_cache(cls) -> None:
-        cls._cache.clear()
-        cls.cache_stats.reset()
+        with cls._cache_lock:
+            cls._cache.clear()
+            cls.cache_stats.reset()
 
     @classmethod
     def cache_len(cls) -> int:
-        return len(cls._cache)
+        with cls._cache_lock:
+            return len(cls._cache)
 
     @classmethod
     def set_cache_capacity(cls, capacity: int) -> None:
         """Re-bound the compiled-query cache, evicting LRU-first if needed."""
         if capacity < 1:
             raise CompilerError(f"cache capacity must be positive, got {capacity}")
-        cls.cache_capacity = capacity
-        while len(cls._cache) > capacity:
-            cls._cache.popitem(last=False)
-            cls.cache_stats.evictions += 1
+        with cls._cache_lock:
+            cls.cache_capacity = capacity
+            while len(cls._cache) > capacity:
+                cls._cache.popitem(last=False)
+                cls.cache_stats.evictions += 1
 
     @classmethod
     def _evict_stale_generations(cls, catalog: Catalog, generation: int) -> None:
@@ -255,17 +270,18 @@ class QueryCompiler:
 
         key = None if self.verify else self._cache_key(plan, catalog, query_name)
         if key is not None:
-            entry = QueryCompiler._cache.get(key)
-            if entry is not None:
-                cached, catalog_ref, _ = entry
-                if catalog_ref() is catalog:
-                    # The id() component of the key could alias a dead catalog;
-                    # the weak reference check rules that out.
-                    QueryCompiler._cache.move_to_end(key)
-                    QueryCompiler.cache_stats.hits += 1
-                    return replace(cached, cache_hit=True, _aux=None,
-                                   _aux_generation=None)
-                del QueryCompiler._cache[key]
+            with QueryCompiler._cache_lock:
+                entry = QueryCompiler._cache.get(key)
+                if entry is not None:
+                    cached, catalog_ref, _ = entry
+                    if catalog_ref() is catalog:
+                        # The id() component of the key could alias a dead
+                        # catalog; the weak reference check rules that out.
+                        QueryCompiler._cache.move_to_end(key)
+                        QueryCompiler.cache_stats.hits += 1
+                        return replace(cached, cache_hit=True, _aux=None,
+                                       _aux_generation=None)
+                    del QueryCompiler._cache[key]
 
         fault_point("compiler.compile", query=query_name, stack=self.stack.name)
         context = CompilationContext(catalog=catalog, flags=self.flags,
@@ -321,14 +337,25 @@ class QueryCompiler:
             _recompile=lambda db, _plan=plan, _name=query_name:
                 self.compile(_plan, db, query_name=_name),
         )
-        QueryCompiler.cache_stats.misses += 1
-        if key is not None:
-            generation = key[-1]
-            QueryCompiler._evict_stale_generations(catalog, generation)
-            if len(QueryCompiler._cache) >= QueryCompiler.cache_capacity:
-                QueryCompiler._prune_cache()
-            QueryCompiler._cache[key] = (compiled, weakref.ref(catalog),
-                                         generation)
+        with QueryCompiler._cache_lock:
+            QueryCompiler.cache_stats.misses += 1
+            if key is not None:
+                generation = key[-1]
+                # Re-read the live generation under the lock: a table
+                # re-registration that landed while this thread was compiling
+                # must win.  Stale-generation entries are evicted against the
+                # *live* generation, and a result compiled against a
+                # now-replaced generation is returned to the caller but never
+                # inserted — otherwise it would resurrect an entry the bump
+                # already evicted (and the eviction sweep, keyed on the stale
+                # generation, would evict the *fresh* entries instead).
+                live = AccessLayer.for_catalog(catalog).generation
+                QueryCompiler._evict_stale_generations(catalog, live)
+                if generation == live:
+                    if len(QueryCompiler._cache) >= QueryCompiler.cache_capacity:
+                        QueryCompiler._prune_cache()
+                    QueryCompiler._cache[key] = (compiled, weakref.ref(catalog),
+                                                 generation)
         governor = current_governor()
         if governor is not None:
             governor.charge_compile(compiled.compile_seconds)

@@ -29,6 +29,7 @@ is thrown away and re-planned against the new data, with a
 """
 from __future__ import annotations
 
+import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
@@ -65,7 +66,13 @@ class LadderExhausted(RuntimeError):
 
 
 class CircuitBreaker:
-    """Per-key failure counter with open/cooldown/half-open states."""
+    """Per-key failure counter with open/cooldown/half-open states.
+
+    State transitions are serialised by a lock: the serving front door runs
+    ladder attempts on a thread pool, so concurrent failures on the same
+    (fingerprint, tier) key must not lose counter increments or double-open
+    the breaker.
+    """
 
     def __init__(self, threshold: int = 3, cooldown_seconds: float = 30.0,
                  clock: Callable[[], float] = time.monotonic) -> None:
@@ -74,35 +81,40 @@ class CircuitBreaker:
         self.threshold = threshold
         self.cooldown_seconds = cooldown_seconds
         self._clock = clock
+        self._lock = threading.RLock()
         self._failures: Dict[Tuple, int] = {}
         self._opened_at: Dict[Tuple, float] = {}
 
     def allow(self, key: Tuple) -> bool:
         """Whether an attempt may run: closed, or open-but-cooled (half-open
         probe — one attempt is let through; its outcome closes or re-arms)."""
-        opened = self._opened_at.get(key)
-        if opened is None:
-            return True
-        return self._clock() - opened >= self.cooldown_seconds
+        with self._lock:
+            opened = self._opened_at.get(key)
+            if opened is None:
+                return True
+            return self._clock() - opened >= self.cooldown_seconds
 
     def is_open(self, key: Tuple) -> bool:
-        return key in self._opened_at
+        with self._lock:
+            return key in self._opened_at
 
     def record_failure(self, key: Tuple) -> bool:
         """Count a failure; returns True when this opens (or re-arms) the
         breaker."""
-        count = self._failures.get(key, 0) + 1
-        self._failures[key] = count
-        if count >= self.threshold:
-            self._opened_at[key] = self._clock()
-            return True
-        return False
+        with self._lock:
+            count = self._failures.get(key, 0) + 1
+            self._failures[key] = count
+            if count >= self.threshold:
+                self._opened_at[key] = self._clock()
+                return True
+            return False
 
     def record_success(self, key: Tuple) -> bool:
         """Reset the key; returns True when this closed an open breaker."""
-        was_open = self._opened_at.pop(key, None) is not None
-        self._failures.pop(key, None)
-        return was_open
+        with self._lock:
+            was_open = self._opened_at.pop(key, None) is not None
+            self._failures.pop(key, None)
+            return was_open
 
 
 @dataclass
@@ -125,9 +137,13 @@ class ExecutionReport:
 class HardenedExecutor:
     """Runs queries through the fallback ladder against one catalog.
 
-    Engine instances are created once and reused across queries and ladder
-    attempts (which is what makes the per-execution cache hygiene of
-    :class:`~repro.engine.sharing.SubplanSharing` load-bearing).
+    Engine instances are created once *per worker thread* and reused across
+    queries and ladder attempts (which is what makes the per-execution cache
+    hygiene of :class:`~repro.engine.sharing.SubplanSharing` load-bearing).
+    The executor is safe to share across the serving layer's thread pool:
+    engines carry per-execution state and therefore live in thread-local
+    storage, the plan memo is lock-guarded, and the circuit breaker and
+    incident log are thread-safe themselves.
     """
 
     def __init__(self, catalog: Catalog, *,
@@ -154,12 +170,37 @@ class HardenedExecutor:
         self.max_retries = max_retries
         self.backoff_seconds = backoff_seconds
         self._sleep = sleep
-        self._volcano = VolcanoEngine(catalog)
-        self._vectorized = VectorizedEngine(catalog)
-        self._template = TemplateExpander(catalog)
+        #: engines keep per-execution state (subplan-sharing caches), so each
+        #: worker thread gets its own trio; the catalog itself is shared
+        self._tls = threading.local()
+        self._lock = threading.Lock()
         self._compilers: Dict[str, object] = {}
         #: (fingerprint, mode) -> (access-layer generation, planned tree)
         self._plans: Dict[Tuple[str, str], Tuple[int, Q.Operator]] = {}
+
+    # ------------------------------------------------------------------
+    # Per-thread engines
+    # ------------------------------------------------------------------
+    @property
+    def _volcano(self) -> VolcanoEngine:
+        engine = getattr(self._tls, "volcano", None)
+        if engine is None:
+            engine = self._tls.volcano = VolcanoEngine(self.catalog)
+        return engine
+
+    @property
+    def _vectorized(self) -> VectorizedEngine:
+        engine = getattr(self._tls, "vectorized", None)
+        if engine is None:
+            engine = self._tls.vectorized = VectorizedEngine(self.catalog)
+        return engine
+
+    @property
+    def _template(self) -> TemplateExpander:
+        engine = getattr(self._tls, "template", None)
+        if engine is None:
+            engine = self._tls.template = TemplateExpander(self.catalog)
+        return engine
 
     # ------------------------------------------------------------------
     # Planning
@@ -180,9 +221,13 @@ class HardenedExecutor:
         """
         layer = AccessLayer.for_catalog(self.catalog)
         key = (fingerprint, mode)
-        cached = self._plans.get(key)
-        if cached is not None and not force and cached[0] == layer.generation:
-            return cached
+        with self._lock:
+            cached = self._plans.get(key)
+            if cached is not None and not force and cached[0] == layer.generation:
+                return cached
+        # Planning runs outside the lock (it is pure per planner instance);
+        # two threads may plan the same key concurrently, in which case the
+        # last write wins — both results are valid for their generation.
         options = self._plan_options(mode)
         if options is None:
             Q.validate(plan, self.catalog)
@@ -190,7 +235,8 @@ class HardenedExecutor:
         else:
             planned = Planner(self.catalog, options).optimize(plan)
         entry = (layer.generation, planned)
-        self._plans[key] = entry
+        with self._lock:
+            self._plans[key] = entry
         return entry
 
     # ------------------------------------------------------------------
@@ -201,19 +247,21 @@ class HardenedExecutor:
         from ..stack.configs import build_config
 
         key = f"{self.compiled_config}:{mode}"
-        compiler = self._compilers.get(key)
-        if compiler is None:
-            config = build_config(self.compiled_config)
-            # Planning is the executor's job (it owns the mode axis), so the
-            # compiler's own logical optimizer stays off; the access-layer
-            # flag follows the plan mode so a degraded plan also stops the
-            # generated code from touching catalog-resident structures.
-            flags = config.flags.copy_with(
-                logical_plan_optimizer=False,
-                catalog_access_layer=(mode == "access"),
-                subplan_sharing=True)
-            compiler = QueryCompiler(config.stack, flags)
-            self._compilers[key] = compiler
+        with self._lock:
+            compiler = self._compilers.get(key)
+            if compiler is None:
+                config = build_config(self.compiled_config)
+                # Planning is the executor's job (it owns the mode axis), so
+                # the compiler's own logical optimizer stays off; the
+                # access-layer flag follows the plan mode so a degraded plan
+                # also stops the generated code from touching
+                # catalog-resident structures.
+                flags = config.flags.copy_with(
+                    logical_plan_optimizer=False,
+                    catalog_access_layer=(mode == "access"),
+                    subplan_sharing=True)
+                compiler = QueryCompiler(config.stack, flags)
+                self._compilers[key] = compiler
         return compiler
 
     def _run_tier(self, tier: str, planned: Q.Operator,
@@ -228,25 +276,43 @@ class HardenedExecutor:
         return self._volcano.execute(planned)
 
     def _compiler_for_run(self, planned: Q.Operator, query_name: str):
-        return self._current_compiler.compile(planned, self.catalog, query_name)
+        return self._tls.current_compiler.compile(planned, self.catalog,
+                                                  query_name)
 
     # ------------------------------------------------------------------
     # The ladder
     # ------------------------------------------------------------------
     def execute(self, plan: Q.Operator, query_name: str = "query",
-                budget: Optional[QueryBudget] = None) -> ExecutionReport:
+                budget: Optional[QueryBudget] = None,
+                tiers: Optional[Sequence[str]] = None) -> ExecutionReport:
         """Run ``plan`` through the ladder; raises :class:`BudgetExceeded`
         on a final budget trip, :class:`LadderExhausted` when every tier
-        fails."""
+        fails.
+
+        ``tiers`` overrides the executor's configured ladder for this one
+        execution — the serving front door uses it to admit requests at a
+        cheaper tier set under load (e.g. skipping the compiled tier for
+        queries with no cached plan, or dropping straight to the
+        interpreter).
+        """
         budget = budget if budget is not None else self.budget
+        if tiers is None:
+            active_tiers = self.tiers
+        else:
+            unknown = [tier for tier in tiers if tier not in ENGINE_TIERS]
+            if unknown:
+                raise ValueError(f"unknown tiers {unknown}; valid: {ENGINE_TIERS}")
+            if not tiers:
+                raise ValueError("at least one tier is required")
+            active_tiers = tuple(tiers)
         fingerprint = Q.plan_fingerprint(plan)
         attempts: List[dict] = []
         mode_index = 0
         tier_index = 0
         retries = 0
 
-        while tier_index < len(self.tiers):
-            tier = self.tiers[tier_index]
+        while tier_index < len(active_tiers):
+            tier = active_tiers[tier_index]
             mode = PLAN_MODES[mode_index]
             breaker_key = (fingerprint, tier)
             if not self.breaker.allow(breaker_key):
@@ -269,7 +335,7 @@ class HardenedExecutor:
                     cause=f"budget:{error.kind}", message=str(error),
                     elapsed_seconds=elapsed, plan_mode=mode,
                     stats=error.stats.as_dict())
-                if error.kind == "compile" and tier_index + 1 < len(self.tiers):
+                if error.kind == "compile" and tier_index + 1 < len(active_tiers):
                     # compile-time blowup: the direct tiers need no compile
                     attempts.append(self._attempt_record(tier, mode, error, elapsed))
                     self._degrade_tier(query_name, tier, error, elapsed, mode)
@@ -354,10 +420,27 @@ class HardenedExecutor:
                          "re-planning"),
                 plan_mode=mode)
             generation, planned = self._plan(plan, fingerprint, mode, force=True)
-        self._current_compiler = self._compiler(mode)
+        self._tls.current_compiler = self._compiler(mode)
         scope = governed(budget) if budget is not None else nullcontext()
         with scope:
             return self._run_tier(tier, planned, query_name)
+
+    # ------------------------------------------------------------------
+    def warm(self, plan: Q.Operator, query_name: str = "query") -> float:
+        """Pre-plan and pre-compile ``plan`` for the compiled tier.
+
+        Plans in ``access`` mode, compiles through the compiled-tier stack
+        (populating the process-wide compiled-query cache) and runs
+        ``prepare`` so the catalog-resident access structures the query needs
+        are built before traffic arrives.  Returns the compile seconds spent
+        (0.0 on a cache hit).  Used by the serving front door's warm-up.
+        """
+        fingerprint = Q.plan_fingerprint(plan)
+        _, planned = self._plan(plan, fingerprint, "access")
+        compiled = self._compiler("access").compile(planned, self.catalog,
+                                                    query_name)
+        compiled.prepare(self.catalog)
+        return 0.0 if compiled.cache_hit else compiled.compile_seconds
 
     def _attempt_record(self, tier: str, mode: str, error: BaseException,
                         elapsed: float) -> dict:

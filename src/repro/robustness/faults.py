@@ -30,11 +30,25 @@ site                             planted in
 ``engine.template.checkpoint``   ``engine/template_expander.py`` — epilogue error
 ``engine.compiled.run``          ``codegen/compiler.py`` — generated-code error
 ``executor.pre_execute``         ``robustness/fallback.py`` — plan/run skew window
+``server.queue_stall``           ``server/server.py`` — value: dispatcher stall s
+``server.executor_slow``         ``server/server.py`` — value: extra execute s
+``server.deadline_skew``         ``server/server.py`` — value: s shaved off the
+                                 remaining deadline at budget translation
 ===============================  ================================================
+
+The three ``server.*`` sites drive the overload chaos suite: a stalled
+dispatcher burns queued requests' deadlines, a slow executor holds admission
+slots (pushing the AIMD limiter down), and deadline skew admits queries with
+a tighter budget than their real remaining deadline.
+
+:class:`FaultPlan` is lock-guarded: the serving layer hits fault points from
+thread-pool workers and the event loop concurrently, and the per-site hit
+counters must not lose updates (seeded determinism is per-site ordering).
 """
 from __future__ import annotations
 
 import random
+import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
@@ -50,6 +64,9 @@ KNOWN_SITES = frozenset({
     "engine.template.checkpoint",
     "engine.compiled.run",
     "executor.pre_execute",
+    "server.queue_stall",
+    "server.executor_slow",
+    "server.deadline_skew",
 })
 
 
@@ -107,6 +124,9 @@ class FaultPlan:
             self._specs.setdefault(spec.site, []).append(spec)
         self.seed = seed
         self._rng = random.Random(seed)
+        #: hit counters, firing decisions and the fired journal are shared
+        #: mutable state; the serving layer hits sites from many threads
+        self._lock = threading.RLock()
         self.hits: Dict[str, int] = {}
         self.fired: List[Tuple[str, int]] = []
         self._fire_counts: Dict[int, int] = {}
@@ -120,28 +140,38 @@ class FaultPlan:
         return spec.fires_on is None or hit in spec.fires_on
 
     def hit(self, site: str, context: Dict[str, Any]) -> None:
-        hit = self.hits.get(site, 0) + 1
-        self.hits[site] = hit
-        for spec in self._specs.get(site, ()):
-            if not self._should_fire(spec, hit):
-                continue
-            self._fire_counts[id(spec)] = self._fire_counts.get(id(spec), 0) + 1
-            self.fired.append((site, hit))
+        # decide under the lock, fire outside it: actions may block (chaos
+        # tests use them to park a thread mid-phase), and holding the plan
+        # lock through a blocking action would stall every other fault site
+        firing: List[FaultSpec] = []
+        with self._lock:
+            hit = self.hits.get(site, 0) + 1
+            self.hits[site] = hit
+            for spec in self._specs.get(site, ()):
+                if not self._should_fire(spec, hit):
+                    continue
+                self._fire_counts[id(spec)] = \
+                    self._fire_counts.get(id(spec), 0) + 1
+                self.fired.append((site, hit))
+                firing.append(spec)
+        for spec in firing:
             if spec.action is not None:
                 spec.action(context)
             if spec.error is not None:
                 raise spec.error()
 
     def value_at(self, site: str, default: Any) -> Any:
-        hit = self.hits.get(site, 0) + 1
-        self.hits[site] = hit
-        for spec in self._specs.get(site, ()):
-            if spec.value is None or not self._should_fire(spec, hit):
-                continue
-            self._fire_counts[id(spec)] = self._fire_counts.get(id(spec), 0) + 1
-            self.fired.append((site, hit))
-            return spec.value
-        return default
+        with self._lock:
+            hit = self.hits.get(site, 0) + 1
+            self.hits[site] = hit
+            for spec in self._specs.get(site, ()):
+                if spec.value is None or not self._should_fire(spec, hit):
+                    continue
+                self._fire_counts[id(spec)] = \
+                    self._fire_counts.get(id(spec), 0) + 1
+                self.fired.append((site, hit))
+                return spec.value
+            return default
 
     def fired_sites(self) -> Tuple[str, ...]:
         return tuple(site for site, _ in self.fired)

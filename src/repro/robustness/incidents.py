@@ -4,16 +4,27 @@ Every degradation the :class:`~repro.robustness.fallback.HardenedExecutor`
 performs — a tier falling over, a plan losing its access paths, a transient
 retry, a circuit breaker opening — is recorded as one :class:`Incident`.
 The compiled-stack lowering also reports here when it silently downgrades a
-leftouter ``IndexJoin`` to the hash lowering (ROADMAP carry-over).
+leftouter ``IndexJoin`` to the hash lowering (ROADMAP carry-over), and the
+query-serving front door (:mod:`repro.server`) records every admission-time
+degradation: load-shed rejections, tier downgrades under pressure, and
+requests dropped because their deadline expired in the queue.
 
 The log is an in-process ring buffer (bounded, oldest-first eviction) so a
-long-lived serving process cannot grow it without limit.  A process-wide
-default instance, :data:`DEFAULT_INCIDENTS`, receives reports from call
-sites that have no executor-scoped log in hand.
+long-lived serving process cannot grow it without limit.  Per-category
+counters cover *every* report ever made — :meth:`IncidentLog.snapshot`
+exposes them so a stats endpoint or a chaos suite can assert on incident
+counts without draining (or being limited by) the ring.  All operations are
+thread-safe: the serving layer reports from thread-pool workers and the
+asyncio event loop concurrently.
+
+A process-wide default instance, :data:`DEFAULT_INCIDENTS`, receives reports
+from call sites that have no executor-scoped log in hand.
 """
 from __future__ import annotations
 
 import itertools
+import json
+import threading
 import time
 from collections import deque
 from dataclasses import dataclass, field
@@ -32,6 +43,9 @@ CATEGORIES = (
     "generation_skew",     # access-layer generation moved between plan and run
     "budget_trip",         # governor raised BudgetExceeded
     "lowering_fallback",   # compiled stack silently chose a weaker lowering
+    "admission_reject",    # front door shed a request (queue full / draining)
+    "admission_downgrade", # front door admitted at a cheaper tier policy
+    "deadline_expired",    # request deadline expired before execution started
 )
 
 
@@ -77,14 +91,23 @@ class Incident:
 
 
 class IncidentLog:
-    """Bounded, in-order incident sink with simple query helpers."""
+    """Bounded, in-order, thread-safe incident sink with query helpers.
+
+    The ring buffer holds the most recent ``capacity`` incidents; the
+    per-category counters (:meth:`snapshot`) are never evicted, so totals
+    survive ring wrap-around.
+    """
 
     def __init__(self, capacity: int = 1024,
                  clock: Callable[[], float] = time.time):
         if capacity < 1:
             raise ValueError("capacity must be >= 1")
+        self.capacity = capacity
         self._records: Deque[Incident] = deque(maxlen=capacity)
         self._clock = clock
+        self._lock = threading.RLock()
+        self._counters: Dict[str, int] = {}
+        self._total = 0
 
     def report(self, category: str, *, query: str = "", tier: str = "",
                cause: str = "", message: str = "",
@@ -96,19 +119,26 @@ class IncidentLog:
                             category=category, query=query, tier=tier,
                             cause=cause, message=message,
                             elapsed_seconds=elapsed_seconds, detail=detail)
-        self._records.append(incident)
+        with self._lock:
+            self._records.append(incident)
+            self._counters[category] = self._counters.get(category, 0) + 1
+            self._total += 1
         return incident
 
     def __len__(self) -> int:
-        return len(self._records)
+        with self._lock:
+            return len(self._records)
 
     def __iter__(self) -> Iterator[Incident]:
-        return iter(tuple(self._records))
+        with self._lock:
+            return iter(tuple(self._records))
 
     def records(self, category: Optional[str] = None,
                 query: Optional[str] = None) -> List[Incident]:
+        with self._lock:
+            snapshot = tuple(self._records)
         out = []
-        for record in self._records:
+        for record in snapshot:
             if category is not None and record.category != category:
                 continue
             if query is not None and record.query != query:
@@ -120,8 +150,45 @@ class IncidentLog:
         matches = self.records(category)
         return matches[-1] if matches else None
 
+    def count(self, category: str) -> int:
+        """Total reports ever made in ``category`` (survives ring eviction)."""
+        if category not in CATEGORIES:
+            raise ValueError(f"unknown incident category: {category!r}")
+        with self._lock:
+            return self._counters.get(category, 0)
+
+    def snapshot(self) -> dict:
+        """Counters without draining the ring: totals per category (only
+        categories actually reported), ring occupancy, and how many records
+        have been evicted."""
+        with self._lock:
+            by_category = {category: self._counters[category]
+                           for category in CATEGORIES
+                           if self._counters.get(category)}
+            buffered = len(self._records)
+            total = self._total
+        return {
+            "total_reported": total,
+            "buffered": buffered,
+            "evicted": total - buffered,
+            "capacity": self.capacity,
+            "by_category": by_category,
+        }
+
+    def to_json(self, include_records: bool = False,
+                indent: Optional[int] = None) -> str:
+        """The :meth:`snapshot` (optionally plus the buffered records) as a
+        JSON document for stats endpoints and benchmark artifacts."""
+        payload = self.snapshot()
+        if include_records:
+            payload["records"] = [record.as_dict() for record in self.records()]
+        return json.dumps(payload, indent=indent, default=repr)
+
     def clear(self) -> None:
-        self._records.clear()
+        with self._lock:
+            self._records.clear()
+            self._counters.clear()
+            self._total = 0
 
 
 #: Process-wide sink for call sites without an executor-scoped log (e.g. the

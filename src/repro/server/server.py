@@ -1,0 +1,490 @@
+"""The asyncio query-serving front door.
+
+:class:`QueryServer` accepts concurrent query submissions, runs them through
+the PR-6 :class:`~repro.robustness.fallback.HardenedExecutor` on a thread
+pool, and refuses to melt down when demand exceeds capacity:
+
+* **Admission control** — a bounded priority queue
+  (:class:`~repro.server.admission.AdmissionController`) with an AIMD
+  concurrency window (:class:`~repro.server.admission.AdaptiveLimiter`).
+  Requests beyond the queue bound get a typed ``overloaded`` response
+  immediately; nothing queues without bound.
+* **Deadline propagation** — each request carries an absolute deadline.
+  Whatever deadline is left when execution starts becomes the
+  :class:`~repro.robustness.governor.QueryBudget` timeout handed to the
+  governor, so a query admitted late runs with a tighter budget, and
+  requests whose deadline expired in the queue are dropped (typed
+  ``deadline_exceeded``, never executed).
+* **Graceful degradation** — before rejecting outright, the shedding policy
+  admits requests at cheaper tiers of the fallback ladder: past the
+  elevated-occupancy threshold only queries with an already-cached compiled
+  plan may use the compiled tier (no fresh compiles under pressure), and
+  past the severe threshold everything runs on the interpreter.  Every
+  downgrade and every rejection is recorded in the incident log.
+* **Lifecycle** — :meth:`health` / :meth:`readiness` probes, a warm-up that
+  pre-builds the catalog's access structures and pre-compiles a configured
+  query set, and a draining shutdown (:meth:`drain`) that completes every
+  admitted query, rejects new ones, and leaves zero orphaned futures.
+
+Execution runs on a thread pool: compiled code and engines hit governor
+checkpoints (GIL yield points) per row/batch, and the executor, incident
+log, circuit breaker and compiled-query cache are all thread-safe.  The
+``server.*`` fault sites (queue stalls, slow executors, deadline skew) let
+the overload chaos suite drive this machinery through injected storms.
+"""
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import replace
+from typing import Dict, Mapping, Optional, Sequence
+
+from ..dsl import qplan as Q
+from ..robustness.fallback import HardenedExecutor, LadderExhausted
+from ..robustness.faults import fault_value
+from ..robustness.governor import BudgetExceeded, QueryBudget
+from ..robustness.incidents import IncidentLog
+from ..storage.catalog import Catalog
+from ..storage.loader import warm_access_paths
+from .admission import (POLICY_TIERS, AdaptiveLimiter, AdmissionController,
+                        AdmittedRequest, SheddingPolicy)
+from .responses import (STATUS_FAILED, STATUS_OK, DeadlineExceeded,
+                        Overloaded, QueryResponse, Rejection)
+
+#: lifecycle states, in order
+STATES = ("new", "starting", "serving", "draining", "stopped")
+
+
+class QueryServer:
+    """Admission-controlled asyncio front door over one catalog.
+
+    Construct, ``await start()``, ``await submit(...)`` from any number of
+    concurrent tasks, ``await drain()`` to shut down.  Every submission
+    resolves to exactly one :class:`QueryResponse`.
+    """
+
+    def __init__(self, catalog: Catalog, *,
+                 executor: Optional[HardenedExecutor] = None,
+                 queries: Optional[Mapping[str, Q.Operator]] = None,
+                 warmup: Sequence[str] = (),
+                 max_queue_depth: int = 64,
+                 initial_concurrency: int = 4,
+                 min_concurrency: int = 1,
+                 max_concurrency: int = 32,
+                 default_timeout_seconds: Optional[float] = None,
+                 base_budget: Optional[QueryBudget] = None,
+                 shedding: Optional[SheddingPolicy] = None,
+                 dispatch_margin_seconds: float = 0.0,
+                 worker_threads: Optional[int] = None) -> None:
+        self.catalog = catalog
+        self.executor = executor if executor is not None else \
+            HardenedExecutor(catalog, incidents=IncidentLog())
+        self.incidents = self.executor.incidents
+        self.queries: Dict[str, Q.Operator] = dict(queries or {})
+        unknown = [name for name in warmup if name not in self.queries]
+        if unknown:
+            raise ValueError(f"warmup names not in the query registry: {unknown}")
+        self.warmup_names = tuple(warmup)
+        self.default_timeout_seconds = default_timeout_seconds
+        self.base_budget = base_budget if base_budget is not None \
+            else QueryBudget.unlimited()
+        #: requests whose remaining deadline at dispatch is below this are
+        #: dropped instead of dispatched with a hopeless budget
+        self.dispatch_margin_seconds = dispatch_margin_seconds
+        self._clock = time.monotonic
+        self._admission = AdmissionController(max_queue_depth, shedding,
+                                              clock=self._clock)
+        self._limiter = AdaptiveLimiter(initial=initial_concurrency,
+                                        min_limit=min_concurrency,
+                                        max_limit=max_concurrency)
+        self._worker_threads = worker_threads if worker_threads is not None \
+            else max_concurrency
+        self._state = "new"
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._pool: Optional[ThreadPoolExecutor] = None
+        self._dispatcher: Optional[asyncio.Task] = None
+        self._wake: Optional[asyncio.Event] = None
+        self._idle: Optional[asyncio.Event] = None
+        self._in_flight = 0
+        self._pending = 0
+        self._started_at: Optional[float] = None
+        self._responses_by_status: Dict[str, int] = {}
+        #: plan fingerprints with a warm compiled plan (warm-up + successful
+        #: compiled-tier executions); gates the compiled tier under
+        #: ``cached_only`` shedding
+        self._warm_fingerprints: set = set()
+        self._warm_lock = threading.Lock()
+        self._warmup_report: Dict[str, float] = {}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        return self._state
+
+    async def start(self) -> None:
+        """Warm up and begin serving.  Idempotent only from ``new``."""
+        if self._state != "new":
+            raise RuntimeError(f"cannot start from state {self._state!r}")
+        self._state = "starting"
+        self._loop = asyncio.get_running_loop()
+        self._wake = asyncio.Event()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._pool = ThreadPoolExecutor(
+            max_workers=self._worker_threads,
+            thread_name_prefix="repro-serving")
+        await self._loop.run_in_executor(self._pool, self._warm_up)
+        self._dispatcher = self._loop.create_task(self._dispatch_loop())
+        self._started_at = self._clock()
+        self._state = "serving"
+
+    def _warm_up(self) -> None:
+        """Pre-build access structures, pre-compile the configured set."""
+        warm_access_paths(self.catalog)
+        for name in self.warmup_names:
+            plan = self.queries[name]
+            seconds = self.executor.warm(plan, name)
+            self._note_warm(Q.plan_fingerprint(plan))
+            self._warmup_report[name] = seconds
+
+    async def drain(self, timeout_seconds: Optional[float] = None) -> None:
+        """Stop admitting, finish every admitted query, then shut down.
+
+        With a ``timeout_seconds`` bound, requests still *queued* when it
+        expires are resolved as typed ``overloaded`` responses (reason
+        ``"shutdown"``); in-flight executions are always awaited — the
+        governor's deadline budget bounds how long that can take.  After
+        ``drain`` returns no future is left unresolved.
+        """
+        if self._state == "stopped":
+            return
+        if self._state == "new":
+            self._state = "stopped"
+            return
+        self._state = "draining"
+        self._admission.stop_accepting("draining")
+        self._wake.set()
+        try:
+            if timeout_seconds is None:
+                await self._idle.wait()
+            else:
+                try:
+                    await asyncio.wait_for(self._idle.wait(), timeout_seconds)
+                except asyncio.TimeoutError:
+                    pass
+        finally:
+            if self._dispatcher is not None:
+                self._dispatcher.cancel()
+                try:
+                    await self._dispatcher
+                except asyncio.CancelledError:
+                    pass
+            # a timed-out drain may leave queued (never-dispatched) requests:
+            # resolve each with a typed rejection — no orphaned futures
+            for request in self._admission.drain_queue():
+                self.incidents.report(
+                    "admission_reject", query=request.name,
+                    cause="shutdown",
+                    message=f"{request.name}: dropped at shutdown")
+                self._resolve(request, QueryResponse(
+                    query=request.name, status=Overloaded.status,
+                    reason="shutdown", error_type="Overloaded",
+                    message="server shut down before dispatch",
+                    tier_policy=request.tier_policy))
+            # in-flight work still resolves its futures on the loop; wait
+            # for the pool without blocking the event loop thread
+            pool = self._pool
+            await self._loop.run_in_executor(
+                None, lambda: pool.shutdown(wait=True))
+            while self._in_flight > 0:
+                await asyncio.sleep(0.001)
+            self._state = "stopped"
+
+    def health(self) -> dict:
+        """Liveness: the process is up; reports state and uptime."""
+        uptime = 0.0 if self._started_at is None \
+            else self._clock() - self._started_at
+        return {"status": "ok", "state": self._state,
+                "uptime_seconds": uptime}
+
+    def readiness(self) -> dict:
+        """Readiness: whether new requests will be admitted right now."""
+        ready = self._state == "serving"
+        reason = "" if ready else f"state is {self._state!r}"
+        return {"ready": ready, "state": self._state, "reason": reason,
+                "warmed_queries": len(self._warmup_report)}
+
+    def stats(self) -> dict:
+        """The stats endpoint: queue, limiter, incident counters (via
+        :meth:`IncidentLog.snapshot` — the ring is not drained)."""
+        return {
+            "state": self._state,
+            "in_flight": self._in_flight,
+            "pending": self._pending,
+            "queue": self._admission.snapshot(),
+            "limiter": self._limiter.snapshot(),
+            "responses_by_status": dict(self._responses_by_status),
+            "warm_plans": len(self._warm_fingerprints),
+            "warmup_compile_seconds": dict(self._warmup_report),
+            "incidents": self.incidents.snapshot(),
+        }
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+    async def submit(self, plan, query_name: Optional[str] = None, *,
+                     timeout_seconds: Optional[float] = None,
+                     priority: int = 0) -> QueryResponse:
+        """Submit one query; resolves to exactly one typed response.
+
+        ``plan`` is a QPlan operator tree, or the name of a registered query
+        (the ``queries`` mapping given at construction).  ``timeout_seconds``
+        (default: the server's ``default_timeout_seconds``) becomes the
+        request deadline; lower ``priority`` values dispatch first.
+        """
+        if isinstance(plan, str):
+            query_name = plan if query_name is None else query_name
+            try:
+                plan = self.queries[plan]
+            except KeyError:
+                return self._count(QueryResponse(
+                    query=query_name, status=STATUS_FAILED,
+                    reason="unknown_query", error_type="KeyError",
+                    message=f"no registered query named {query_name!r}"))
+        name = query_name if query_name is not None else "query"
+        if self._state != "serving":
+            self.incidents.report(
+                "admission_reject", query=name, cause="not_serving",
+                message=f"{name}: rejected in state {self._state!r}")
+            return self._count(QueryResponse(
+                query=name, status=Overloaded.status, reason="not_serving",
+                error_type="Overloaded",
+                message=f"server is {self._state}, not serving"))
+        timeout = timeout_seconds if timeout_seconds is not None \
+            else self.default_timeout_seconds
+        deadline = None if timeout is None else self._clock() + timeout
+        try:
+            request = self._admission.offer(name, plan, priority=priority,
+                                            deadline=deadline)
+        except Rejection as error:
+            category = "deadline_expired" \
+                if isinstance(error, DeadlineExceeded) else "admission_reject"
+            self.incidents.report(
+                category, query=name, cause=error.reason, message=str(error),
+                queue_depth=len(self._admission))
+            return self._count(QueryResponse(
+                query=name, status=error.status, reason=error.reason,
+                error_type=type(error).__name__, message=str(error)))
+        if request.tier_policy != "full":
+            self.incidents.report(
+                "admission_downgrade", query=name, cause="queue_pressure",
+                message=(f"{name}: admitted at tier policy "
+                         f"{request.tier_policy!r}"),
+                tier_policy=request.tier_policy,
+                occupancy=self._admission.occupancy)
+        # submit() and the dispatcher both run on the event loop, so the
+        # future is attached before the request can possibly be popped
+        request.future = self._loop.create_future()
+        self._pending += 1
+        self._idle.clear()
+        self._wake.set()
+        return await request.future
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    async def _dispatch_loop(self) -> None:
+        while True:
+            await self._wake.wait()
+            self._wake.clear()
+            while self._in_flight < self._limiter.limit:
+                request = self._admission.pop()
+                if request is None:
+                    break
+                # injected queue stall: the dispatcher wedges while queued
+                # deadlines keep burning
+                stall = fault_value("server.queue_stall", 0.0)
+                if stall:
+                    await asyncio.sleep(stall)
+                if request.expired(self._clock()):
+                    self.incidents.report(
+                        "deadline_expired", query=request.name,
+                        cause="expired_in_queue",
+                        message=(f"{request.name}: deadline expired after "
+                                 "admission, dropped before execution"),
+                        queue_seconds=self._clock() - request.enqueued_at)
+                    self._resolve(request, QueryResponse(
+                        query=request.name,
+                        status=DeadlineExceeded.status,
+                        reason="expired_in_queue",
+                        error_type="DeadlineExceeded",
+                        message="deadline expired while queued",
+                        tier_policy=request.tier_policy,
+                        queue_seconds=self._clock() - request.enqueued_at))
+                    self._limiter.on_overload()
+                    continue
+                self._in_flight += 1
+                self._loop.create_task(self._run_request(request))
+
+    async def _run_request(self, request: AdmittedRequest) -> None:
+        queue_seconds = self._clock() - request.enqueued_at
+        try:
+            response = await self._loop.run_in_executor(
+                self._pool, self._execute, request, queue_seconds)
+        except Exception as error:  # noqa: BLE001 - never orphan a future
+            response = QueryResponse(
+                query=request.name, status=STATUS_FAILED,
+                reason="internal_error", error_type=type(error).__name__,
+                message=str(error), tier_policy=request.tier_policy,
+                queue_seconds=queue_seconds)
+        finally:
+            self._in_flight -= 1
+            self._wake.set()
+        if response.status == STATUS_OK:
+            self._limiter.on_success()
+        elif response.status == DeadlineExceeded.status:
+            self._limiter.on_overload()
+        self._resolve(request, response)
+
+    def _resolve(self, request: AdmittedRequest, response: QueryResponse) -> None:
+        self._count(response)
+        if request.future is not None and not request.future.done():
+            request.future.set_result(response)
+        self._pending -= 1
+        if self._pending <= 0:
+            self._idle.set()
+
+    def _count(self, response: QueryResponse) -> QueryResponse:
+        self._responses_by_status[response.status] = \
+            self._responses_by_status.get(response.status, 0) + 1
+        return response
+
+    # ------------------------------------------------------------------
+    # Execution (worker threads)
+    # ------------------------------------------------------------------
+    def _execute(self, request: AdmittedRequest,
+                 queue_seconds: float) -> QueryResponse:
+        # injected slow executor: the worker holds its admission slot
+        extra = fault_value("server.executor_slow", 0.0)
+        if extra:
+            time.sleep(extra)
+        remaining = request.remaining(self._clock())
+        if remaining is not None:
+            # injected deadline skew: the translated budget is tighter than
+            # the real remaining deadline (a conservatively-skewed clock)
+            remaining -= fault_value("server.deadline_skew", 0.0)
+            if remaining <= self.dispatch_margin_seconds:
+                self.incidents.report(
+                    "deadline_expired", query=request.name,
+                    cause="expired_before_execute",
+                    message=(f"{request.name}: {remaining:.4f}s of deadline "
+                             "left at execution, dropped"),
+                    queue_seconds=queue_seconds)
+                return QueryResponse(
+                    query=request.name, status=DeadlineExceeded.status,
+                    reason="expired_before_execute",
+                    error_type="DeadlineExceeded",
+                    message="deadline expired before execution started",
+                    tier_policy=request.tier_policy,
+                    queue_seconds=queue_seconds)
+        budget = self._budget_for(remaining)
+        tiers = self._tiers_for(request)
+        started = time.perf_counter()
+        try:
+            report = self.executor.execute(request.plan, request.name,
+                                           budget=budget, tiers=tiers)
+        except BudgetExceeded as error:
+            elapsed = time.perf_counter() - started
+            if error.kind == "timeout":
+                # the propagated deadline tripped mid-execution; the executor
+                # already recorded the budget_trip incident
+                return QueryResponse(
+                    query=request.name, status=DeadlineExceeded.status,
+                    reason="budget_timeout", error_type="BudgetExceeded",
+                    message=str(error), tier_policy=request.tier_policy,
+                    queue_seconds=queue_seconds, execute_seconds=elapsed,
+                    detail={"stats": error.stats.as_dict()})
+            return QueryResponse(
+                query=request.name, status=STATUS_FAILED,
+                reason=f"budget_{error.kind}", error_type="BudgetExceeded",
+                message=str(error), tier_policy=request.tier_policy,
+                queue_seconds=queue_seconds, execute_seconds=elapsed,
+                detail={"stats": error.stats.as_dict()})
+        except LadderExhausted as error:
+            return QueryResponse(
+                query=request.name, status=STATUS_FAILED,
+                reason="ladder_exhausted", error_type="LadderExhausted",
+                message=str(error), tier_policy=request.tier_policy,
+                queue_seconds=queue_seconds,
+                execute_seconds=time.perf_counter() - started,
+                detail={"attempts": list(error.attempts)})
+        except Exception as error:  # noqa: BLE001 - typed response, not a raise
+            return QueryResponse(
+                query=request.name, status=STATUS_FAILED,
+                reason="internal_error", error_type=type(error).__name__,
+                message=str(error), tier_policy=request.tier_policy,
+                queue_seconds=queue_seconds,
+                execute_seconds=time.perf_counter() - started)
+        elapsed = time.perf_counter() - started
+        if report.tier == "compiled":
+            self._note_warm(Q.plan_fingerprint(request.plan))
+        return QueryResponse(
+            query=request.name, status=STATUS_OK, rows=report.rows,
+            tier=report.tier, plan_mode=report.plan_mode,
+            tier_policy=request.tier_policy, attempts=len(report.attempts),
+            queue_seconds=queue_seconds, execute_seconds=elapsed)
+
+    def _budget_for(self, remaining: Optional[float]) -> Optional[QueryBudget]:
+        """Translate the remaining deadline into the governor budget."""
+        base = self.base_budget
+        if remaining is None:
+            if base == QueryBudget.unlimited():
+                return None  # nothing to enforce; skip governor overhead
+            return base
+        remaining = max(0.0, remaining)
+        timeout = remaining if base.timeout_seconds is None \
+            else min(base.timeout_seconds, remaining)
+        return replace(base, timeout_seconds=timeout)
+
+    def _tiers_for(self, request: AdmittedRequest) -> Optional[Sequence[str]]:
+        policy = request.tier_policy
+        if policy == "full":
+            return None  # the executor's configured ladder
+        if policy == "interpreter_only":
+            return POLICY_TIERS["interpreter_only"]
+        # cached_only: the compiled tier is only worth its admission cost if
+        # the plan is already compiled (warm-up or a previous execution)
+        with self._warm_lock:
+            warm = Q.plan_fingerprint(request.plan) in self._warm_fingerprints
+        return POLICY_TIERS["cached_only" if warm else "cached_only_cold"]
+
+    def _note_warm(self, fingerprint: str) -> None:
+        with self._warm_lock:
+            self._warm_fingerprints.add(fingerprint)
+
+
+async def serve_one_shot(catalog: Catalog, requests, **server_kwargs):
+    """Convenience: start a server, run ``requests``, drain, return responses.
+
+    ``requests`` is an iterable of ``(plan_or_name, query_name, kwargs)``
+    triples or bare plans/names; used by the benchmark harness and handy in
+    tests.  All requests are submitted concurrently.
+    """
+    server = QueryServer(catalog, **server_kwargs)
+    await server.start()
+    tasks = []
+    for entry in requests:
+        if isinstance(entry, tuple):
+            plan, name, kwargs = entry
+            tasks.append(server.submit(plan, name, **kwargs))
+        else:
+            tasks.append(server.submit(entry))
+    try:
+        responses = await asyncio.gather(*tasks)
+    finally:
+        await server.drain()
+    return responses, server

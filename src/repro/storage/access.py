@@ -31,6 +31,7 @@ prove the build-once claim.
 """
 from __future__ import annotations
 
+import threading
 from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from itertools import chain
@@ -397,6 +398,11 @@ class AccessLayer:
     #: bound on memoized candidate lists (distinct (table, filters) keys)
     _CANDIDATE_CACHE_LIMIT = 256
 
+    #: serialises first-use layer creation: two threads racing
+    #: :meth:`for_catalog` must agree on one layer (and therefore one
+    #: generation counter) per catalog
+    _CREATE_LOCK = threading.Lock()
+
     def __init__(self, catalog) -> None:
         self.catalog = catalog
         self._key_indices: Dict[Tuple[str, str], Optional[object]] = {}
@@ -419,8 +425,11 @@ class AccessLayer:
         """
         layer = getattr(catalog, "_access_layer", None)
         if layer is None:
-            layer = cls(catalog)
-            catalog._access_layer = layer
+            with cls._CREATE_LOCK:
+                layer = getattr(catalog, "_access_layer", None)
+                if layer is None:
+                    layer = cls(catalog)
+                    catalog._access_layer = layer
         return layer
 
     def invalidate_table(self, table: str) -> None:

@@ -129,4 +129,7 @@ class TestInstallation:
         # the registry is the single source of truth; every site string used
         # in these tests must be registered
         assert "executor.pre_execute" in KNOWN_SITES
-        assert len(KNOWN_SITES) == 10
+        for site in ("server.queue_stall", "server.executor_slow",
+                     "server.deadline_skew"):
+            assert site in KNOWN_SITES
+        assert len(KNOWN_SITES) == 13

@@ -78,3 +78,71 @@ class TestRingBuffer:
             log.report("budget_trip", query=f"q{n}")
         assert len(log) == 3
         assert [i.query for i in log] == ["q7", "q8", "q9"]
+
+
+class TestSnapshot:
+    """Per-category counters survive ring eviction; snapshot/to_json are
+    the serving stats endpoint's view of the log."""
+
+    def test_snapshot_counts_by_category(self):
+        log = IncidentLog(capacity=8)
+        log.report("tier_failure", query="q1")
+        log.report("tier_failure", query="q2")
+        log.report("admission_reject", query="q3")
+        snapshot = log.snapshot()
+        assert snapshot["total_reported"] == 3
+        assert snapshot["buffered"] == 3
+        assert snapshot["evicted"] == 0
+        assert snapshot["capacity"] == 8
+        assert snapshot["by_category"] == {"tier_failure": 2,
+                                           "admission_reject": 1}
+
+    def test_counters_survive_ring_eviction(self):
+        log = IncidentLog(capacity=2)
+        for n in range(50):
+            log.report(CATEGORIES[n % 3], query=f"q{n}")
+        snapshot = log.snapshot()
+        assert snapshot["total_reported"] == 50
+        assert snapshot["buffered"] == 2
+        assert snapshot["evicted"] == 48
+        assert sum(snapshot["by_category"].values()) == 50
+        assert log.count(CATEGORIES[0]) == snapshot["by_category"][CATEGORIES[0]]
+
+    def test_count_for_unreported_category_is_zero(self):
+        log = IncidentLog()
+        assert log.count("circuit_open") == 0
+
+    def test_clear_resets_counters(self):
+        log = IncidentLog()
+        log.report("budget_trip")
+        log.clear()
+        snapshot = log.snapshot()
+        assert snapshot["total_reported"] == 0
+        assert snapshot["by_category"] == {}
+
+    def test_to_json_round_trips(self):
+        import json
+
+        log = IncidentLog(capacity=4)
+        log.report("deadline_expired", query="q1", tier="compiled",
+                   detail={"remaining": 0.0})
+        payload = json.loads(log.to_json())
+        assert payload["total_reported"] == 1
+        assert payload["by_category"] == {"deadline_expired": 1}
+        assert "records" not in payload
+
+    def test_to_json_with_records(self):
+        import json
+
+        log = IncidentLog(capacity=4)
+        log.report("admission_downgrade", query="q9", tier="interpreter")
+        payload = json.loads(log.to_json(include_records=True, indent=2))
+        assert len(payload["records"]) == 1
+        record = payload["records"][0]
+        assert record["category"] == "admission_downgrade"
+        assert record["query"] == "q9"
+
+    def test_serving_categories_exist(self):
+        for category in ("admission_reject", "admission_downgrade",
+                         "deadline_expired"):
+            assert category in CATEGORIES
