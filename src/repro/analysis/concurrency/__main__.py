@@ -1,0 +1,56 @@
+"""CLI: ``python -m repro.analysis.concurrency``.
+
+Exit codes follow the shared ``repro.analysis`` convention: 0 clean,
+1 findings, 2 usage error (argparse).
+"""
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .report import DEFAULT_TARGETS, analyze_tree
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.analysis.concurrency",
+        description="Lock-discipline, deadlock-order and thread-affinity "
+                    "lint over the serving substrate.")
+    parser.add_argument(
+        "--targets", nargs="*", metavar="PATH", default=None,
+        help="paths relative to src/repro to analyze "
+             f"(default: {', '.join(DEFAULT_TARGETS)})")
+    parser.add_argument(
+        "--out", metavar="FILE", default=None,
+        help="write the JSON report (lock-order relation, shared-state "
+             "inventory, violations) to FILE")
+    parser.add_argument(
+        "--json", action="store_true",
+        help="print the JSON report to stdout instead of human-readable "
+             "findings")
+    args = parser.parse_args(argv)
+
+    report = analyze_tree(targets=args.targets)
+    if args.out:
+        Path(args.out).write_text(report.to_json(), encoding="utf-8")
+    if args.json:
+        print(json.dumps(report.as_dict(), indent=2))
+    else:
+        for violation in report.violations:
+            print(violation.render())
+        owning = [cls for cls in report.program.classes.values()
+                  if cls.owns_lock]
+        shared = sum(len(cls.shared) for cls in owning)
+        print(f"concurrency: {len(owning)} lock-owning classes, "
+              f"{shared} shared attrs, "
+              f"{len(report.lock_order.edges)} lock-order edges, "
+              f"{len(report.program.escapes)} escapes, "
+              f"{len(report.violations)} violations")
+    return 0 if report.ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

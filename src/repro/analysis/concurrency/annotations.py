@@ -1,0 +1,145 @@
+"""Parsing of ``# concurrency: ...`` directives and their AST attachment.
+
+The comment grammar is deliberately tiny (see :mod:`repro.concurrency` for
+the vocabulary).  A directive attaches to exactly one statement:
+
+* written inline (code before the ``#``), it attaches to the innermost
+  statement spanning that line;
+* written on its own line, it attaches to the next statement that *starts*
+  after it (for a decorated ``def`` that is the function itself, provided
+  the directive sits above the decorators).
+
+Unparseable directives are violations, never silently ignored — an escape
+hatch that does not parse is a discipline break waiting to be missed.
+"""
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from .model import Violation
+
+_DIRECTIVE_RE = re.compile(r"#\s*concurrency:\s*(?P<body>.+?)\s*$")
+
+#: ``verb`` or ``verb(arg)`` with an optional ``: reason`` tail
+_BODY_RE = re.compile(
+    r"^(?P<verb>[a-z-]+)(?:\((?P<arg>[^)]*)\))?(?:\s*:\s*(?P<reason>.+))?$")
+
+VERBS = frozenset({
+    "guarded-by", "init-only", "confined", "thread-local", "synchronized",
+    "unguarded", "runs-on", "blocking",
+})
+
+#: verbs that require a recorded justification
+REASON_REQUIRED = frozenset({"confined", "unguarded"})
+
+CONFINEMENTS = frozenset({"event-loop", "startup"})
+CONTEXTS = frozenset({"event-loop", "worker", "startup"})
+
+
+@dataclass
+class Directive:
+    """One parsed ``# concurrency:`` comment."""
+
+    verb: str
+    arg: str
+    reason: str
+    line: int
+    inline: bool
+
+
+def parse_directives(source: str, path: str,
+                     violations: List[Violation]) -> List[Directive]:
+    """Every directive in ``source``; malformed ones become violations."""
+    directives: List[Directive] = []
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = _DIRECTIVE_RE.search(text)
+        if match is None:
+            continue
+        inline = bool(text[:match.start()].strip())
+        body = match.group("body")
+        parsed = _BODY_RE.match(body)
+        verb = parsed.group("verb") if parsed else ""
+        if parsed is None or verb not in VERBS:
+            violations.append(Violation(
+                "bad-annotation", path, lineno, "<module>",
+                f"unparseable concurrency directive: {body!r}"))
+            continue
+        arg = (parsed.group("arg") or "").strip()
+        reason = (parsed.group("reason") or "").strip()
+        problem = _validate(verb, arg, reason)
+        if problem is not None:
+            violations.append(Violation(
+                "bad-annotation", path, lineno, "<module>", problem))
+            continue
+        directives.append(Directive(verb, arg, reason, lineno, inline))
+    return directives
+
+
+def _validate(verb: str, arg: str, reason: str) -> Optional[str]:
+    if verb == "guarded-by" and not arg:
+        return "guarded-by needs a lock name: guarded-by(_lock)"
+    if verb == "confined" and arg not in CONFINEMENTS:
+        return f"confined() context must be one of {sorted(CONFINEMENTS)}, got {arg!r}"
+    if verb == "runs-on" and arg not in CONTEXTS:
+        return f"runs-on() context must be one of {sorted(CONTEXTS)}, got {arg!r}"
+    if verb in REASON_REQUIRED and not reason:
+        return f"{verb} directives must record a justification after ':'"
+    if verb in ("init-only", "thread-local", "synchronized", "blocking",
+                "unguarded") and arg:
+        return f"{verb} takes no argument"
+    return None
+
+
+def attach_directives(tree: ast.Module, directives: List[Directive],
+                      path: str, violations: List[Violation]
+                      ) -> Dict[int, List[Directive]]:
+    """Map ``id(stmt)`` → directives attached to that statement."""
+    statements: List[Tuple[int, int, ast.stmt]] = []
+    for node in ast.walk(tree):
+        if isinstance(node, ast.stmt):
+            end = getattr(node, "end_lineno", None) or node.lineno
+            statements.append((node.lineno, end, node))
+    attached: Dict[int, List[Directive]] = {}
+    for directive in directives:
+        target = _target_statement(directive, statements)
+        if target is None:
+            violations.append(Violation(
+                "bad-annotation", path, directive.line, "<module>",
+                f"{directive.verb} directive attaches to no statement"))
+            continue
+        attached.setdefault(id(target), []).append(directive)
+    return attached
+
+
+def _target_statement(directive: Directive,
+                      statements: List[Tuple[int, int, ast.stmt]]
+                      ) -> Optional[ast.stmt]:
+    if directive.inline:
+        covering = [entry for entry in statements
+                    if entry[0] <= directive.line <= entry[1]]
+        if not covering:
+            return None
+        # the innermost statement spanning the line starts last
+        return max(covering, key=lambda entry: entry[0])[2]
+    following = [entry for entry in statements if entry[0] > directive.line]
+    if not following:
+        return None
+    return min(following, key=lambda entry: entry[0])[2]
+
+
+def guarded_by_decorator(node: ast.AST) -> Optional[str]:
+    """The lock name if ``node`` is a ``@guarded_by("...")`` decorator."""
+    if not isinstance(node, ast.Call) or len(node.args) != 1:
+        return None
+    func = node.func
+    name = func.id if isinstance(func, ast.Name) else (
+        func.attr if isinstance(func, ast.Attribute) else None)
+    if name != "guarded_by":
+        return None
+    argument = node.args[0]
+    if isinstance(argument, ast.Constant) and isinstance(argument.value, str):
+        return argument.value
+    return None

@@ -1,0 +1,220 @@
+"""Intraprocedural CFG with a must-hold-locks forward dataflow.
+
+One function body becomes a statement-level control-flow graph; a forward
+fixpoint (meet = set intersection, the *must* direction) computes the set of
+locks **provably held** when each statement starts executing.  Acquisition
+is structural — ``with self._lock:`` adds the lock on the edge into the
+body and releases it on every edge out, including the non-local exits
+(``return``/``raise``/``break``/``continue`` release the frames they
+unwind, exactly like ``__exit__`` does at runtime).
+
+Exception flow is under-approximated safely for a *must* analysis: each
+``except`` handler is entered with the locks held at ``try`` entry — any
+lock acquired inside the ``try`` body has been released by the unwinding
+``with`` before the handler runs, so the handler can never be credited
+with a lock it might not hold.
+"""
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Callable, Dict, FrozenSet, List, Optional, Tuple
+
+from .model import EMPTY_LOCKS, LockId
+
+#: resolves a ``with`` context expression to a lock, or ``None``
+LockResolver = Callable[[ast.expr], Optional[LockId]]
+
+#: a pending edge: (source node, locks added, locks released)
+_Pending = Tuple[int, FrozenSet[LockId], FrozenSet[LockId]]
+
+
+@dataclass
+class _LoopCtx:
+    head: int
+    with_depth: int
+    breaks: List[_Pending] = field(default_factory=list)
+
+
+class ControlFlowGraph:
+    """Statement-level CFG of one function body."""
+
+    def __init__(self) -> None:
+        self.stmt_node: Dict[int, int] = {}  # id(stmt) -> node index
+        self.edges: List[Tuple[int, int, FrozenSet[LockId], FrozenSet[LockId]]] = []
+        self.num_nodes = 0
+
+    def new_node(self, stmt: Optional[ast.stmt]) -> int:
+        index = self.num_nodes
+        self.num_nodes += 1
+        if stmt is not None:
+            self.stmt_node[id(stmt)] = index
+        return index
+
+    def add_edge(self, src: int, dst: int, add: FrozenSet[LockId],
+                 remove: FrozenSet[LockId]) -> None:
+        self.edges.append((src, dst, add, remove))
+
+    def must_hold(self, initial: FrozenSet[LockId]
+                  ) -> List[Optional[FrozenSet[LockId]]]:
+        """Per-node must-hold sets; ``None`` marks unreachable nodes."""
+        held: List[Optional[FrozenSet[LockId]]] = [None] * self.num_nodes
+        held[0] = initial
+        outgoing: Dict[int, List[Tuple[int, FrozenSet[LockId], FrozenSet[LockId]]]] = {}
+        for src, dst, add, remove in self.edges:
+            outgoing.setdefault(src, []).append((dst, add, remove))
+        worklist = [0]
+        while worklist:
+            node = worklist.pop()
+            current = held[node]
+            if current is None:
+                continue
+            for dst, add, remove in outgoing.get(node, ()):
+                value = (current | add) - remove
+                previous = held[dst]
+                merged = value if previous is None else (previous & value)
+                if previous is None or merged != previous:
+                    held[dst] = merged
+                    worklist.append(dst)
+        return held
+
+
+class _Builder:
+    def __init__(self, resolve_lock: LockResolver) -> None:
+        self.resolve_lock = resolve_lock
+        self.cfg = ControlFlowGraph()
+        self.exit: int = -1
+        self.withs: List[FrozenSet[LockId]] = []
+
+    # ------------------------------------------------------------------
+    def build(self, body: List[ast.stmt]) -> ControlFlowGraph:
+        entry = self.cfg.new_node(None)
+        self.exit = self.cfg.new_node(None)
+        frontier = self._seq(body, [(entry, EMPTY_LOCKS, EMPTY_LOCKS)], None)
+        for src, add, remove in frontier:
+            self.cfg.add_edge(src, self.exit, add, remove)
+        return self.cfg
+
+    # ------------------------------------------------------------------
+    def _connect(self, frontier: List[_Pending], node: int) -> None:
+        for src, add, remove in frontier:
+            self.cfg.add_edge(src, node, add, remove)
+
+    def _released_above(self, depth: int) -> FrozenSet[LockId]:
+        released: FrozenSet[LockId] = EMPTY_LOCKS
+        for frame in self.withs[depth:]:
+            released |= frame
+        return released
+
+    def _seq(self, stmts: List[ast.stmt], frontier: List[_Pending],
+             loop: Optional[_LoopCtx]) -> List[_Pending]:
+        for stmt in stmts:
+            if not frontier:
+                # unreachable suffix: still give the statements nodes so the
+                # collector can look them up (they stay unreachable)
+                self.cfg.new_node(stmt)
+                self._descend_unreachable(stmt, loop)
+                continue
+            frontier = self._stmt(stmt, frontier, loop)
+        return frontier
+
+    def _descend_unreachable(self, stmt: ast.stmt, loop: Optional[_LoopCtx]) -> None:
+        for body in _nested_bodies(stmt):
+            self._seq(body, [], loop)
+
+    # ------------------------------------------------------------------
+    def _stmt(self, stmt: ast.stmt, frontier: List[_Pending],
+              loop: Optional[_LoopCtx]) -> List[_Pending]:
+        node = self.cfg.new_node(stmt)
+        self._connect(frontier, node)
+        after: _Pending = (node, EMPTY_LOCKS, EMPTY_LOCKS)
+
+        if isinstance(stmt, (ast.Return, ast.Raise)):
+            self.cfg.add_edge(node, self.exit, EMPTY_LOCKS,
+                              self._released_above(0))
+            return []
+        if isinstance(stmt, ast.Break) and loop is not None:
+            loop.breaks.append(
+                (node, EMPTY_LOCKS, self._released_above(loop.with_depth)))
+            return []
+        if isinstance(stmt, ast.Continue) and loop is not None:
+            self.cfg.add_edge(node, loop.head, EMPTY_LOCKS,
+                              self._released_above(loop.with_depth))
+            return []
+
+        if isinstance(stmt, (ast.With, ast.AsyncWith)):
+            locks = frozenset(
+                lock for item in stmt.items
+                for lock in [self.resolve_lock(item.context_expr)]
+                if lock is not None)
+            self.withs.append(locks)
+            body_frontier = self._seq(stmt.body, [(node, locks, EMPTY_LOCKS)],
+                                      loop)
+            self.withs.pop()
+            return [(src, add, remove | locks)
+                    for src, add, remove in body_frontier]
+
+        if isinstance(stmt, ast.If):
+            then = self._seq(stmt.body, [after], loop)
+            orelse = self._seq(stmt.orelse, [after], loop)
+            return then + orelse
+
+        if isinstance(stmt, (ast.While, ast.For, ast.AsyncFor)):
+            inner = _LoopCtx(head=node, with_depth=len(self.withs))
+            body_frontier = self._seq(stmt.body, [after], inner)
+            self._connect(body_frontier, node)
+            out = self._seq(stmt.orelse, [after], loop) if stmt.orelse else [after]
+            return out + inner.breaks
+
+        if isinstance(stmt, (ast.Try, ast.TryStar)):
+            body_frontier = self._seq(stmt.body, [after], loop)
+            handler_frontiers: List[_Pending] = []
+            for handler in stmt.handlers:
+                handler_frontiers += self._seq(handler.body, [after], loop)
+            merged = (self._seq(stmt.orelse, body_frontier, loop)
+                      if stmt.orelse else body_frontier)
+            merged = merged + handler_frontiers
+            if stmt.finalbody:
+                return self._seq(stmt.finalbody, merged, loop)
+            return merged
+
+        if isinstance(stmt, ast.Match):
+            out: List[_Pending] = [after]
+            for case in stmt.cases:
+                out += self._seq(case.body, [after], loop)
+            return out
+
+        # nested defs/classes and simple statements fall through
+        return [after]
+
+
+def held_per_statement(body: List[ast.stmt], resolve_lock: LockResolver,
+                       initial: FrozenSet[LockId]
+                       ) -> Dict[int, FrozenSet[LockId]]:
+    """``id(stmt)`` → locks provably held when the statement starts.
+
+    Statements the fixpoint never reaches (dead code) are omitted; callers
+    treat missing entries as "no locks proven" which is the safe default.
+    """
+    builder = _Builder(resolve_lock)
+    cfg = builder.build(body)
+    held = cfg.must_hold(initial)
+    result: Dict[int, FrozenSet[LockId]] = {}
+    for stmt_id, node in cfg.stmt_node.items():
+        value = held[node]
+        if value is not None:
+            result[stmt_id] = value
+    return result
+
+
+def _nested_bodies(stmt: ast.stmt) -> List[List[ast.stmt]]:
+    bodies: List[List[ast.stmt]] = []
+    for name in ("body", "orelse", "finalbody"):
+        block = getattr(stmt, name, None)
+        if isinstance(block, list) and block and isinstance(block[0], ast.stmt):
+            bodies.append(block)
+    for handler in getattr(stmt, "handlers", []) or []:
+        bodies.append(handler.body)
+    for case in getattr(stmt, "cases", []) or []:
+        bodies.append(case.body)
+    return bodies

@@ -20,6 +20,7 @@ from collections import OrderedDict
 from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional, Tuple
 
+from ..concurrency import guarded_by
 from ..dsl import qmonad as M
 from ..dsl import qplan as Q
 from ..ir.nodes import Program
@@ -204,6 +205,7 @@ class QueryCompiler:
                 cls.cache_stats.evictions += 1
 
     @classmethod
+    @guarded_by("_cache_lock")
     def _evict_stale_generations(cls, catalog: Catalog, generation: int) -> None:
         """Drop entries compiled against an earlier generation of ``catalog``.
 
@@ -362,6 +364,7 @@ class QueryCompiler:
         return compiled
 
     @classmethod
+    @guarded_by("_cache_lock")
     def _prune_cache(cls) -> None:
         """Make room for one insert: drop entries whose catalog is gone,
         then evict least-recently-used entries until under capacity."""

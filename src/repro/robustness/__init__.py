@@ -33,7 +33,7 @@ __all__ = [
 ]
 
 
-def __getattr__(name):
+def __getattr__(name: str) -> object:
     if name in ("HardenedExecutor", "LadderExhausted", "ExecutionReport"):
         from . import fallback
         return getattr(fallback, name)

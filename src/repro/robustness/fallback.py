@@ -33,7 +33,11 @@ import threading
 import time
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import (TYPE_CHECKING, Any, Callable, Dict, List, Optional,
+                    Sequence, Tuple)
+
+if TYPE_CHECKING:
+    from ..codegen.compiler import QueryCompiler
 
 from ..dsl import qplan as Q
 from ..engine.template_expander import TemplateExpander
@@ -57,7 +61,7 @@ ACCESS_ERRORS = (AccessError, DataCorruptionFault)
 class LadderExhausted(RuntimeError):
     """Every configured tier failed; ``attempts`` records each failure."""
 
-    def __init__(self, query: str, attempts: List[dict]):
+    def __init__(self, query: str, attempts: List[dict]) -> None:
         self.query = query
         self.attempts = attempts
         causes = ", ".join(f"{a['tier']}/{a['plan_mode']}: {a['error']}"
@@ -242,7 +246,7 @@ class HardenedExecutor:
     # ------------------------------------------------------------------
     # Tier runners
     # ------------------------------------------------------------------
-    def _compiler(self, mode: str):
+    def _compiler(self, mode: str) -> QueryCompiler:
         from ..codegen.compiler import QueryCompiler
         from ..stack.configs import build_config
 
@@ -275,7 +279,7 @@ class HardenedExecutor:
             return self._vectorized.execute(planned)
         return self._volcano.execute(planned)
 
-    def _compiler_for_run(self, planned: Q.Operator, query_name: str):
+    def _compiler_for_run(self, planned: Q.Operator, query_name: str) -> Any:
         return self._tls.current_compiler.compile(planned, self.catalog,
                                                   query_name)
 

@@ -51,7 +51,9 @@ import random
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterator, List, Optional, Tuple
+
+from ..concurrency import guarded_by
 
 KNOWN_SITES = frozenset({
     "access.key_index",
@@ -107,7 +109,7 @@ class FaultSpec:
     probability: Optional[float] = None
     max_fires: Optional[int] = None
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.site not in KNOWN_SITES:
             raise ValueError(f"unknown fault site: {self.site!r} "
                              f"(known: {sorted(KNOWN_SITES)})")
@@ -118,7 +120,7 @@ class FaultSpec:
 class FaultPlan:
     """A seeded set of :class:`FaultSpec` rules with per-site hit counters."""
 
-    def __init__(self, specs: List[FaultSpec], seed: int = 0):
+    def __init__(self, specs: List[FaultSpec], seed: int = 0) -> None:
         self._specs: Dict[str, List[FaultSpec]] = {}
         for spec in specs:
             self._specs.setdefault(spec.site, []).append(spec)
@@ -131,6 +133,7 @@ class FaultPlan:
         self.fired: List[Tuple[str, int]] = []
         self._fire_counts: Dict[int, int] = {}
 
+    @guarded_by("_lock")
     def _should_fire(self, spec: FaultSpec, hit: int) -> bool:
         if spec.max_fires is not None and \
                 self._fire_counts.get(id(spec), 0) >= spec.max_fires:
@@ -174,13 +177,14 @@ class FaultPlan:
             return default
 
     def fired_sites(self) -> Tuple[str, ...]:
-        return tuple(site for site, _ in self.fired)
+        with self._lock:
+            return tuple(site for site, _ in self.fired)
 
 
 _PLAN: Optional[FaultPlan] = None
 
 
-def fault_point(site: str, **context) -> None:
+def fault_point(site: str, **context: Any) -> None:
     """Hit a fault site; raises/acts if the installed plan says so."""
     if _PLAN is None:
         return
@@ -195,7 +199,7 @@ def fault_value(site: str, default: Any) -> Any:
 
 
 @contextmanager
-def inject(plan: FaultPlan):
+def inject(plan: FaultPlan) -> Iterator[FaultPlan]:
     """Install ``plan`` process-wide for the duration of the block."""
     global _PLAN
     if _PLAN is not None:

@@ -24,7 +24,7 @@ import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass, field
-from typing import Iterable, Iterator, Optional
+from typing import Any, Callable, Iterable, Iterator, Optional
 
 
 @dataclass(frozen=True)
@@ -37,7 +37,7 @@ class QueryBudget:
     max_compile_seconds: Optional[float] = None
     check_interval: int = 256
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.check_interval < 1:
             raise ValueError("check_interval must be >= 1")
         for name in ("timeout_seconds", "max_output_rows",
@@ -79,7 +79,7 @@ class BudgetExceeded(RuntimeError):
     the tripping checkpoint.
     """
 
-    def __init__(self, kind: str, limit, stats: ProgressStats):
+    def __init__(self, kind: str, limit: float, stats: ProgressStats) -> None:
         self.kind = kind
         self.limit = limit
         self.stats = stats
@@ -98,7 +98,7 @@ def current_governor() -> Optional["ResourceGovernor"]:
 
 
 @contextmanager
-def governed(budget: QueryBudget):
+def governed(budget: QueryBudget) -> Iterator[ResourceGovernor]:
     """Install a fresh :class:`ResourceGovernor` for the enclosed execution."""
     governor = ResourceGovernor(budget)
     token = _ACTIVE.set(governor)
@@ -115,7 +115,7 @@ class ResourceGovernor:
     budget: QueryBudget
     stats: ProgressStats = field(default_factory=ProgressStats)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         self._started = time.perf_counter()
         self._since_clock_check = 0
 
@@ -166,7 +166,8 @@ class ResourceGovernor:
             tick()
             yield row
 
-    def guard_batches(self, batches: Iterable, num_rows) -> Iterator:
+    def guard_batches(self, batches: Iterable,
+                      num_rows: Callable[[Any], int]) -> Iterator:
         """Wrap a batch iterator; ``num_rows(batch)`` sizes each checkpoint."""
         checkpoint = self.checkpoint
         for batch in batches:
@@ -187,6 +188,6 @@ class ResourceGovernor:
             self.stats.elapsed_seconds = elapsed
             self._trip("timeout", limit)
 
-    def _trip(self, kind: str, limit) -> None:
+    def _trip(self, kind: str, limit: float) -> None:
         self.stats.elapsed_seconds = self.elapsed()
         raise BudgetExceeded(kind, limit, self.stats)

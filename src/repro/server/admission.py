@@ -109,7 +109,7 @@ class SheddingPolicy:
     elevated_fraction: float = 0.5
     severe_fraction: float = 0.85
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if not (0.0 < self.elevated_fraction <= self.severe_fraction <= 1.0):
             raise ValueError(
                 "need 0 < elevated_fraction <= severe_fraction <= 1")
@@ -170,6 +170,7 @@ class AdmissionController:
         self._lock = threading.Lock()
         self._heap: List[Tuple[int, int, AdmittedRequest]] = []
         self._accepting = True
+        self._reject_reason = "draining"
         # counters for the stats endpoint
         self.accepted = 0
         self.rejected_queue_full = 0
@@ -210,7 +211,7 @@ class AdmissionController:
         with self._lock:
             if not self._accepting:
                 self.rejected_not_accepting += 1
-                raise Overloaded(getattr(self, "_reject_reason", "draining"),
+                raise Overloaded(self._reject_reason,
                                  f"{name}: server is not accepting requests")
             if deadline is not None and deadline - now <= 0.0:
                 self.rejected_dead_on_arrival += 1

@@ -35,7 +35,7 @@ class Rejection(RuntimeError):
 
     status = STATUS_FAILED
 
-    def __init__(self, reason: str, message: str = ""):
+    def __init__(self, reason: str, message: str = "") -> None:
         self.reason = reason
         super().__init__(message or reason)
 
@@ -78,7 +78,7 @@ class QueryResponse:
     execute_seconds: float = 0.0
     detail: Dict[str, Any] = field(default_factory=dict)
 
-    def __post_init__(self):
+    def __post_init__(self) -> None:
         if self.status not in STATUSES:
             raise ValueError(f"unknown response status: {self.status!r}")
 

@@ -39,7 +39,7 @@ import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import replace
-from typing import Dict, Mapping, Optional, Sequence
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from ..dsl import qplan as Q
 from ..robustness.fallback import HardenedExecutor, LadderExhausted
@@ -94,28 +94,42 @@ class QueryServer:
         #: dropped instead of dispatched with a hopeless budget
         self.dispatch_margin_seconds = dispatch_margin_seconds
         self._clock = time.monotonic
+        # concurrency: synchronized
         self._admission = AdmissionController(max_queue_depth, shedding,
                                               clock=self._clock)
+        # concurrency: synchronized
         self._limiter = AdaptiveLimiter(initial=initial_concurrency,
                                         min_limit=min_concurrency,
                                         max_limit=max_concurrency)
         self._worker_threads = worker_threads if worker_threads is not None \
             else max_concurrency
+        # concurrency: confined(event-loop): lifecycle transitions happen on the loop
         self._state = "new"
+        # concurrency: confined(event-loop): bound once by start(), on the loop
         self._loop: Optional[asyncio.AbstractEventLoop] = None
+        # concurrency: confined(event-loop): bound once by start(), on the loop
         self._pool: Optional[ThreadPoolExecutor] = None
+        # concurrency: confined(event-loop): bound once by start(), on the loop
         self._dispatcher: Optional[asyncio.Task] = None
+        # concurrency: confined(event-loop): bound once by start(), on the loop
         self._wake: Optional[asyncio.Event] = None
+        # concurrency: confined(event-loop): bound once by start(), on the loop
         self._idle: Optional[asyncio.Event] = None
+        # concurrency: confined(event-loop): counters touched only by loop tasks
         self._in_flight = 0
+        # concurrency: confined(event-loop): counters touched only by loop tasks
         self._pending = 0
+        # concurrency: confined(event-loop): written once by start()
         self._started_at: Optional[float] = None
+        # concurrency: confined(event-loop): _count runs on the loop; sync reads are snapshots
         self._responses_by_status: Dict[str, int] = {}
         #: plan fingerprints with a warm compiled plan (warm-up + successful
         #: compiled-tier executions); gates the compiled tier under
         #: ``cached_only`` shedding
+        # concurrency: guarded-by(_warm_lock)
         self._warm_fingerprints: set = set()
         self._warm_lock = threading.Lock()
+        # concurrency: confined(startup): filled by _warm_up before serving starts
         self._warmup_report: Dict[str, float] = {}
 
     # ------------------------------------------------------------------
@@ -142,6 +156,7 @@ class QueryServer:
         self._started_at = self._clock()
         self._state = "serving"
 
+    # concurrency: runs-on(startup)
     def _warm_up(self) -> None:
         """Pre-build access structures, pre-compile the configured set."""
         warm_access_paths(self.catalog)
@@ -165,15 +180,17 @@ class QueryServer:
         if self._state == "new":
             self._state = "stopped"
             return
+        wake, idle = self._wake, self._idle
+        assert wake is not None and idle is not None
         self._state = "draining"
         self._admission.stop_accepting("draining")
-        self._wake.set()
+        wake.set()
         try:
             if timeout_seconds is None:
-                await self._idle.wait()
+                await idle.wait()
             else:
                 try:
-                    await asyncio.wait_for(self._idle.wait(), timeout_seconds)
+                    await asyncio.wait_for(idle.wait(), timeout_seconds)
                 except asyncio.TimeoutError:
                     pass
         finally:
@@ -197,8 +214,9 @@ class QueryServer:
                     tier_policy=request.tier_policy))
             # in-flight work still resolves its futures on the loop; wait
             # for the pool without blocking the event loop thread
-            pool = self._pool
-            await self._loop.run_in_executor(
+            pool, loop = self._pool, self._loop
+            assert pool is not None and loop is not None
+            await loop.run_in_executor(
                 None, lambda: pool.shutdown(wait=True))
             while self._in_flight > 0:
                 await asyncio.sleep(0.001)
@@ -221,6 +239,8 @@ class QueryServer:
     def stats(self) -> dict:
         """The stats endpoint: queue, limiter, incident counters (via
         :meth:`IncidentLog.snapshot` — the ring is not drained)."""
+        with self._warm_lock:
+            warm_plans = len(self._warm_fingerprints)
         return {
             "state": self._state,
             "in_flight": self._in_flight,
@@ -228,7 +248,7 @@ class QueryServer:
             "queue": self._admission.snapshot(),
             "limiter": self._limiter.snapshot(),
             "responses_by_status": dict(self._responses_by_status),
-            "warm_plans": len(self._warm_fingerprints),
+            "warm_plans": warm_plans,
             "warmup_compile_seconds": dict(self._warmup_report),
             "incidents": self.incidents.snapshot(),
         }
@@ -288,19 +308,23 @@ class QueryServer:
                 occupancy=self._admission.occupancy)
         # submit() and the dispatcher both run on the event loop, so the
         # future is attached before the request can possibly be popped
-        request.future = self._loop.create_future()
+        loop, wake, idle = self._loop, self._wake, self._idle
+        assert loop is not None and wake is not None and idle is not None
+        request.future = loop.create_future()
         self._pending += 1
-        self._idle.clear()
-        self._wake.set()
+        idle.clear()
+        wake.set()
         return await request.future
 
     # ------------------------------------------------------------------
     # Dispatch
     # ------------------------------------------------------------------
     async def _dispatch_loop(self) -> None:
+        wake, loop = self._wake, self._loop
+        assert wake is not None and loop is not None
         while True:
-            await self._wake.wait()
-            self._wake.clear()
+            await wake.wait()
+            wake.clear()
             while self._in_flight < self._limiter.limit:
                 request = self._admission.pop()
                 if request is None:
@@ -328,13 +352,15 @@ class QueryServer:
                     self._limiter.on_overload()
                     continue
                 self._in_flight += 1
-                self._loop.create_task(self._run_request(request))
+                loop.create_task(self._run_request(request))
 
     async def _run_request(self, request: AdmittedRequest) -> None:
         queue_seconds = self._clock() - request.enqueued_at
+        loop, pool = self._loop, self._pool
+        assert loop is not None and pool is not None
         try:
-            response = await self._loop.run_in_executor(
-                self._pool, self._execute, request, queue_seconds)
+            response = await loop.run_in_executor(
+                pool, self._execute, request, queue_seconds)
         except Exception as error:  # noqa: BLE001 - never orphan a future
             response = QueryResponse(
                 query=request.name, status=STATUS_FAILED,
@@ -343,21 +369,24 @@ class QueryServer:
                 queue_seconds=queue_seconds)
         finally:
             self._in_flight -= 1
-            self._wake.set()
+            if self._wake is not None:
+                self._wake.set()
         if response.status == STATUS_OK:
             self._limiter.on_success()
         elif response.status == DeadlineExceeded.status:
             self._limiter.on_overload()
         self._resolve(request, response)
 
+    # concurrency: runs-on(event-loop)
     def _resolve(self, request: AdmittedRequest, response: QueryResponse) -> None:
         self._count(response)
         if request.future is not None and not request.future.done():
             request.future.set_result(response)
         self._pending -= 1
-        if self._pending <= 0:
+        if self._pending <= 0 and self._idle is not None:
             self._idle.set()
 
+    # concurrency: runs-on(event-loop)
     def _count(self, response: QueryResponse) -> QueryResponse:
         self._responses_by_status[response.status] = \
             self._responses_by_status.get(response.status, 0) + 1
@@ -467,7 +496,9 @@ class QueryServer:
             self._warm_fingerprints.add(fingerprint)
 
 
-async def serve_one_shot(catalog: Catalog, requests, **server_kwargs):
+async def serve_one_shot(
+        catalog: Catalog, requests: Iterable[Any],
+        **server_kwargs: Any) -> Tuple[List[QueryResponse], "QueryServer"]:
     """Convenience: start a server, run ``requests``, drain, return responses.
 
     ``requests`` is an iterable of ``(plan_or_name, query_name, kwargs)``

@@ -37,6 +37,7 @@ from dataclasses import dataclass, field
 from itertools import chain
 from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
 
+from ..concurrency import guarded_by
 from ..dsl import expr as E
 from ..dsl import qplan as Q
 from ..robustness.faults import fault_point
@@ -404,16 +405,28 @@ class AccessLayer:
     _CREATE_LOCK = threading.Lock()
 
     def __init__(self, catalog) -> None:
+        # concurrency: init-only
         self.catalog = catalog
+        #: guards every memo below: pool workers share one layer per catalog,
+        #: and the check-build-store sequences must be atomic or a thundering
+        #: herd builds the same index many times (and tears dict state).
+        #: Reentrant because pruned_indices computes through sorted_column.
+        self._lock = threading.RLock()
+        # concurrency: guarded-by(_lock)
         self._key_indices: Dict[Tuple[str, str], Optional[object]] = {}
+        # concurrency: guarded-by(_lock)
         self._dictionaries: Dict[Tuple[str, str], Optional[StringDictionary]] = {}
+        # concurrency: guarded-by(_lock)
         self._sorted_columns: Dict[Tuple[str, str], Optional[SortedColumn]] = {}
+        # concurrency: guarded-by(_lock)
         self._candidates: Dict[Tuple, object] = {}
         #: ``(kind, table, column) -> times built`` — the build-once proof
+        # concurrency: guarded-by(_lock)
         self.build_counts: Dict[Tuple[str, str, str], int] = {}
         #: bumped on every invalidation; memoized compiled queries key on it
         #: so they can never close over (or assume statistics of) structures
         #: from before a table reload
+        # concurrency: guarded-by(_lock)
         self.generation: int = 0
 
     @classmethod
@@ -444,13 +457,14 @@ class AccessLayer:
         the compiled-query cache (:mod:`repro.codegen.compiler`) also drops
         queries compiled against the previous data.
         """
-        self.generation += 1
-        for memo in (self._key_indices, self._dictionaries,
-                     self._sorted_columns):
-            for key in [k for k in memo if k[0] == table]:
-                del memo[key]
-        for key in [k for k in self._candidates if k[0] == table]:
-            del self._candidates[key]
+        with self._lock:
+            self.generation += 1
+            for memo in (self._key_indices, self._dictionaries,
+                         self._sorted_columns):
+                for key in [k for k in memo if k[0] == table]:
+                    del memo[key]
+            for key in [k for k in self._candidates if k[0] == table]:
+                del self._candidates[key]
 
     # ------------------------------------------------------------------
     def _column_stats(self, table: str, column: str):
@@ -459,6 +473,7 @@ class AccessLayer:
             return None
         return statistics.column(table, column)
 
+    @guarded_by("_lock")
     def _count_build(self, kind: str, table: str, column: str) -> None:
         key = (kind, table, column)
         self.build_counts[key] = self.build_counts.get(key, 0) + 1
@@ -476,10 +491,12 @@ class AccessLayer:
         """
         fault_point("access.key_index", table=table, column=column)
         key = (table, column)
-        if key not in self._key_indices:
-            self._key_indices[key] = self._build_key_index(table, column)
-        return self._key_indices[key]
+        with self._lock:
+            if key not in self._key_indices:
+                self._key_indices[key] = self._build_key_index(table, column)
+            return self._key_indices[key]
 
+    @guarded_by("_lock")
     def _build_key_index(self, table: str, column: str):
         stats = self._column_stats(table, column)
         if stats is None or not stats.is_unique:
@@ -509,10 +526,12 @@ class AccessLayer:
         """The string dictionary of ``table.column`` (built once), or ``None``
         when the column is not a reasonably-repetitive string column."""
         key = (table, column)
-        if key not in self._dictionaries:
-            self._dictionaries[key] = self._build_dictionary(table, column)
-        return self._dictionaries[key]
+        with self._lock:
+            if key not in self._dictionaries:
+                self._dictionaries[key] = self._build_dictionary(table, column)
+            return self._dictionaries[key]
 
+    @guarded_by("_lock")
     def _build_dictionary(self, table: str, column: str) -> Optional[StringDictionary]:
         stats = self._column_stats(table, column)
         if stats is None or stats.num_rows == 0:
@@ -534,10 +553,13 @@ class AccessLayer:
     # ------------------------------------------------------------------
     def sorted_column(self, table: str, column: str) -> Optional[SortedColumn]:
         key = (table, column)
-        if key not in self._sorted_columns:
-            self._sorted_columns[key] = self._build_sorted_column(table, column)
-        return self._sorted_columns[key]
+        with self._lock:
+            if key not in self._sorted_columns:
+                self._sorted_columns[key] = \
+                    self._build_sorted_column(table, column)
+            return self._sorted_columns[key]
 
+    @guarded_by("_lock")
     def _build_sorted_column(self, table: str, column: str) -> Optional[SortedColumn]:
         stats = self._column_stats(table, column)
         if stats is None or stats.zone_map is None or stats.num_rows == 0:
@@ -640,13 +662,14 @@ class AccessLayer:
         slice-and-sort once."""
         fault_point("access.zone_map", table=table)
         key = (table, tuple(filters))
-        cached = self._candidates.get(key)
-        if cached is None:
-            cached = self._compute_pruned_indices(table, filters)
-            if len(self._candidates) >= self._CANDIDATE_CACHE_LIMIT:
-                self._candidates.clear()
-            self._candidates[key] = cached
-        return cached
+        with self._lock:
+            cached = self._candidates.get(key)
+            if cached is None:
+                cached = self._compute_pruned_indices(table, filters)
+                if len(self._candidates) >= self._CANDIDATE_CACHE_LIMIT:
+                    self._candidates.clear()
+                self._candidates[key] = cached
+            return cached
 
     def _compute_pruned_indices(self, table: str, filters: Sequence[ZoneFilter]):
         num_rows = self.catalog.size(table)

@@ -1,4 +1,6 @@
 """Unit tests for the physical access layer (repro.storage.access)."""
+import threading
+
 import pytest
 
 from repro.dsl.expr import col, date, in_list, like, lit
@@ -411,3 +413,49 @@ class TestMultiColumnIntersection:
         assert both == [(2048, 4096)]
         assert both[0][1] - both[0][0] < sum(b - a for a, b in up_chunks)
         assert both[0][1] - both[0][0] < sum(b - a for a, b in down_chunks)
+
+
+class TestThunderingHerd:
+    """The build-once claim must hold under real thread contention: the
+    memo locks added for the concurrency contract (``_CREATE_LOCK`` for the
+    layer itself, the instance ``_lock`` for each structure memo) are
+    exactly what these barriers hammer."""
+
+    THREADS = 16
+
+    def _herd(self, work):
+        barrier = threading.Barrier(self.THREADS)
+        results = [None] * self.THREADS
+        errors = []
+
+        def run(slot):
+            try:
+                barrier.wait()
+                results[slot] = work()
+            except Exception as error:  # noqa: BLE001 - surfaced below
+                errors.append(error)
+
+        threads = [threading.Thread(target=run, args=(slot,))
+                   for slot in range(self.THREADS)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert not errors
+        return results
+
+    def test_for_catalog_builds_exactly_one_layer(self):
+        catalog = _catalog()
+        layers = self._herd(lambda: AccessLayer.for_catalog(catalog))
+        assert all(layer is layers[0] for layer in layers)
+        assert AccessLayer.for_catalog(catalog) is layers[0]
+
+    def test_each_structure_builds_exactly_once_under_contention(self):
+        layer = AccessLayer.for_catalog(_catalog())
+        results = self._herd(lambda: (layer.key_index("R", "r_id"),
+                                      layer.dictionary("R", "r_tag")))
+        indices = {id(index) for index, _ in results}
+        dictionaries = {id(dictionary) for _, dictionary in results}
+        assert len(indices) == 1 and len(dictionaries) == 1
+        assert layer.build_counts[("key_index", "R", "r_id")] == 1
+        assert layer.build_counts[("dictionary", "R", "r_tag")] == 1
